@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Ablation (§5.1.4): sensitivity of PIPM to the majority-vote migration
+ * threshold. The paper reports "similar performance with threshold
+ * ranging from 4 to 16"; this harness sweeps {2, 4, 8, 16, 32} on a
+ * representative workload subset.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table_printer.hh"
+#include "workloads/catalog.hh"
+
+int
+main()
+{
+    using namespace pipm;
+    using namespace pipmbench;
+
+    const Options opts = optionsFromEnv();
+    const unsigned thresholds[] = {2, 4, 8, 16, 32};
+    const char *names[] = {"pr", "bc", "streamcluster", "tpcc", "ycsb"};
+
+    TablePrinter table("Ablation: PIPM majority-vote threshold "
+                       "(speedup over Native)");
+    std::vector<std::string> header = {"workload"};
+    for (unsigned t : thresholds)
+        header.push_back("t=" + std::to_string(t));
+    table.header(header);
+
+    std::vector<std::vector<double>> cols(std::size(thresholds));
+    const SystemConfig base_cfg = defaultConfig();
+    for (const char *name : names) {
+        auto workload = workloadByName(name, base_cfg.footprintScale);
+        const RunResult native =
+            cachedRun(base_cfg, Scheme::native, *workload, opts);
+        std::vector<std::string> row = {name};
+        for (std::size_t i = 0; i < std::size(thresholds); ++i) {
+            SystemConfig cfg = base_cfg;
+            cfg.pipm.migrationThreshold = thresholds[i];
+            const RunResult r =
+                cachedRun(cfg, Scheme::pipmFull, *workload, opts);
+            const double s = speedupOver(native, r);
+            cols[i].push_back(s);
+            row.push_back(TablePrinter::num(s, 2) + "x");
+        }
+        table.row(row);
+    }
+    std::vector<std::string> avg = {"geomean"};
+    for (auto &col : cols)
+        avg.push_back(TablePrinter::num(geomean(col), 2) + "x");
+    table.row(avg);
+    table.print(std::cout);
+    std::cout << "Paper: thresholds 4..16 perform similarly (the default "
+                 "is 8).\n";
+    return 0;
+}

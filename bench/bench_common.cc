@@ -1,0 +1,181 @@
+#include "bench_common.hh"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace pipmbench
+{
+
+using namespace pipm;
+
+namespace
+{
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/** Serialise a RunResult as tab-separated fields. */
+std::string
+serialize(const RunResult &r)
+{
+    std::ostringstream os;
+    os << r.execCycles << '\t' << r.instructions << '\t' << r.ipc << '\t'
+       << r.sharedAccesses << '\t' << r.sharedLlcMisses << '\t'
+       << r.localServedMisses << '\t' << r.cxlServedMisses << '\t'
+       << r.interHostAccesses << '\t' << r.interHostStallCycles << '\t'
+       << r.mgmtStallCycles << '\t' << r.migrationTransferBytes << '\t'
+       << r.osMigrations << '\t' << r.osDemotions << '\t'
+       << r.pipmPromotions << '\t' << r.pipmRevocations << '\t'
+       << r.pipmLinesIn << '\t' << r.pipmLinesBack << '\t'
+       << r.harmfulMigrations << '\t' << r.totalTrackedMigrations << '\t'
+       << r.pageFootprintFrac << '\t' << r.lineFootprintFrac;
+    return os.str();
+}
+
+bool
+deserialize(const std::string &line, RunResult &r)
+{
+    std::istringstream is(line);
+    return static_cast<bool>(
+        is >> r.execCycles >> r.instructions >> r.ipc >>
+        r.sharedAccesses >> r.sharedLlcMisses >> r.localServedMisses >>
+        r.cxlServedMisses >> r.interHostAccesses >>
+        r.interHostStallCycles >> r.mgmtStallCycles >>
+        r.migrationTransferBytes >> r.osMigrations >> r.osDemotions >>
+        r.pipmPromotions >> r.pipmRevocations >> r.pipmLinesIn >>
+        r.pipmLinesBack >> r.harmfulMigrations >>
+        r.totalTrackedMigrations >> r.pageFootprintFrac >>
+        r.lineFootprintFrac);
+}
+
+/** FNV-1a over a string, hex-encoded. */
+std::string
+hashKey(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(h));
+    return buf;
+}
+
+} // namespace
+
+Options
+optionsFromEnv()
+{
+    Options opts;
+    opts.measureRefs = envU64("PIPM_BENCH_REFS", opts.measureRefs);
+    opts.warmupRefs = envU64("PIPM_BENCH_WARMUP", opts.warmupRefs);
+    opts.seed = envU64("PIPM_BENCH_SEED", opts.seed);
+    if (const char *p = std::getenv("PIPM_BENCH_CACHE"))
+        opts.cachePath = p;
+    return opts;
+}
+
+RunConfig
+runConfigOf(const Options &opts)
+{
+    RunConfig run;
+    run.measureRefsPerCore = opts.measureRefs;
+    run.warmupRefsPerCore = opts.warmupRefs;
+    run.seed = opts.seed;
+    run.footprintSampleEvery = std::max<std::uint64_t>(
+        10'000, opts.measureRefs / 4);
+    return run;
+}
+
+std::string
+configKey(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    os << cfg.numHosts << ',' << cfg.coresPerHost << ','
+       << cfg.core.mshrs << ',' << cfg.l1Bytes() << ','
+       << cfg.llcBytesPerCore() << ',' << cfg.link.latencyNs << ','
+       << cfg.link.bytesPerNs << ',' << cfg.link.hasSwitch << ','
+       << cfg.deviceDirectory.sets << ',' << cfg.pipm.globalCacheBytes
+       << ',' << cfg.pipm.localCacheBytes << ','
+       << cfg.pipm.infiniteGlobalCache << ','
+       << cfg.pipm.infiniteLocalCache << ','
+       << cfg.pipm.migrationThreshold << ','
+       << cfg.osMigration.intervalMs << ','
+       << cfg.osMigration.maxPagesPerEpoch << ','
+       << cfg.osMigration.hotThreshold << ','
+       << cfg.footprintScale << ',' << cfg.timeScale << ','
+       << cfg.migrationBytesScale << ',' << cfg.l1Scale << ','
+       << cfg.llcScale;
+    return os.str();
+}
+
+RunResult
+cachedRun(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
+          const Options &opts, const std::string &extra_key)
+{
+    std::ostringstream key_src;
+    key_src << workload.fingerprint() << '|' << toString(scheme) << '|'
+            << configKey(cfg) << '|' << opts.measureRefs << '|'
+            << opts.warmupRefs << '|' << opts.seed << '|' << extra_key;
+    const std::string key = hashKey(key_src.str());
+
+    // Look the key up in the cache file.
+    {
+        std::ifstream in(opts.cachePath);
+        std::string line;
+        while (std::getline(in, line)) {
+            if (line.size() > 17 && line.compare(0, 16, key) == 0 &&
+                line[16] == '\t') {
+                RunResult r;
+                if (deserialize(line.substr(17), r)) {
+                    r.workload = workload.name();
+                    r.scheme = scheme;
+                    return r;
+                }
+            }
+        }
+    }
+
+    std::fprintf(stderr, "[bench] running %s/%s%s%s...\n",
+                 workload.name().c_str(),
+                 std::string(toString(scheme)).c_str(),
+                 extra_key.empty() ? "" : " ", extra_key.c_str());
+    const RunResult r = runExperiment(cfg, scheme, workload,
+                                      runConfigOf(opts));
+
+    std::ofstream out(opts.cachePath, std::ios::app);
+    out << key << '\t' << serialize(r) << '\n';
+    return r;
+}
+
+double
+speedupOver(const RunResult &base, const RunResult &x)
+{
+    return x.execCycles
+               ? static_cast<double>(base.execCycles) /
+                     static_cast<double>(x.execCycles)
+               : 0.0;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+} // namespace pipmbench

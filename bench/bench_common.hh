@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Shared infrastructure for the figure/table harnesses.
+ *
+ * Many figures consume the same (workload, scheme) runs — Fig. 10's
+ * end-to-end matrix also feeds Figs. 11, 12 and 13. Since each harness is
+ * its own binary, runs are memoised in a TSV cache file keyed by the full
+ * experiment fingerprint (workload, scheme, configuration, run length,
+ * seed), so `for b in build/bench/*; do $b; done` simulates each
+ * combination exactly once.
+ *
+ * Environment knobs:
+ *   PIPM_BENCH_REFS    measured references per core (default 150000)
+ *   PIPM_BENCH_WARMUP  warmup references per core (default 40000)
+ *   PIPM_BENCH_SEED    RNG seed (default 42)
+ *   PIPM_BENCH_CACHE   cache file path (default ./pipm_bench_cache.tsv)
+ */
+
+#ifndef PIPM_BENCH_COMMON_HH
+#define PIPM_BENCH_COMMON_HH
+
+#include <string>
+#include <vector>
+
+#include "common/config.hh"
+#include "sim/runner.hh"
+#include "sim/scheme.hh"
+#include "workloads/workload.hh"
+
+namespace pipmbench
+{
+
+/** Run-length options resolved from the environment. */
+struct Options
+{
+    std::uint64_t measureRefs = 150'000;
+    std::uint64_t warmupRefs = 40'000;
+    std::uint64_t seed = 42;
+    std::string cachePath = "pipm_bench_cache.tsv";
+};
+
+/** Read the PIPM_BENCH_* environment variables. */
+Options optionsFromEnv();
+
+/** Build the RunConfig corresponding to the options. */
+pipm::RunConfig runConfigOf(const Options &opts);
+
+/**
+ * Run (or load from cache) one experiment.
+ * @param extra_key disambiguates runs whose difference is not captured by
+ *        the config fingerprint (should normally be empty)
+ */
+pipm::RunResult cachedRun(const pipm::SystemConfig &cfg,
+                          pipm::Scheme scheme,
+                          const pipm::Workload &workload,
+                          const Options &opts,
+                          const std::string &extra_key = "");
+
+/** Fingerprint of every config field that affects measurements. */
+std::string configKey(const pipm::SystemConfig &cfg);
+
+/** base.execCycles / x.execCycles (speedup of x over base). */
+double speedupOver(const pipm::RunResult &base, const pipm::RunResult &x);
+
+/** Geometric mean of a vector of ratios. */
+double geomean(const std::vector<double> &xs);
+
+} // namespace pipmbench
+
+#endif // PIPM_BENCH_COMMON_HH

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 5: percentage of harmful page migrations under Nomad and Memtis
+ * (default 10 ms interval). A migration is harmful when the inter-host
+ * penalty it imposes on other hosts (plus its kernel cost) outweighs the
+ * local-access benefit (§3.2.1).
+ *
+ * Paper reference points: 34% (Nomad) and 29% (Memtis) on average.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table_printer.hh"
+#include "workloads/catalog.hh"
+
+int
+main()
+{
+    using namespace pipm;
+    using namespace pipmbench;
+
+    const Options opts = optionsFromEnv();
+    const SystemConfig cfg = defaultConfig();
+
+    TablePrinter table("Figure 5: percentage of harmful page migrations");
+    table.header({"workload", "nomad", "memtis"});
+    std::vector<double> nomad_pct, memtis_pct;
+    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+        const RunResult nomad =
+            cachedRun(cfg, Scheme::nomad, *workload, opts);
+        const RunResult memtis =
+            cachedRun(cfg, Scheme::memtis, *workload, opts);
+        nomad_pct.push_back(nomad.harmfulFraction());
+        memtis_pct.push_back(memtis.harmfulFraction());
+        table.row({workload->name(),
+                   TablePrinter::pct(nomad.harmfulFraction()),
+                   TablePrinter::pct(memtis.harmfulFraction())});
+    }
+    double nomad_avg = 0, memtis_avg = 0;
+    for (std::size_t i = 0; i < nomad_pct.size(); ++i) {
+        nomad_avg += nomad_pct[i];
+        memtis_avg += memtis_pct[i];
+    }
+    nomad_avg /= static_cast<double>(nomad_pct.size());
+    memtis_avg /= static_cast<double>(memtis_pct.size());
+    table.row({"average", TablePrinter::pct(nomad_avg),
+               TablePrinter::pct(memtis_avg)});
+    table.print(std::cout);
+    std::cout << "Paper: Nomad 34% and Memtis 29% harmful on average.\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 12: stalling cycles of inter-host memory accesses, normalised
+ * to the Native CXL-DSM total execution time (core-cycles).
+ *
+ * Paper reference points: Nomad 19.1%, Memtis 16.6%, HeMem 16.8%,
+ * OS-skew 8.7%, HW-static 4.1%, PIPM 1.5% on average.
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table_printer.hh"
+#include "workloads/catalog.hh"
+
+int
+main()
+{
+    using namespace pipm;
+    using namespace pipmbench;
+
+    const Options opts = optionsFromEnv();
+    const SystemConfig cfg = defaultConfig();
+    const unsigned total_cores = cfg.numHosts * cfg.coresPerHost;
+    const Scheme schemes[] = {Scheme::nomad,    Scheme::memtis,
+                              Scheme::hemem,    Scheme::osSkew,
+                              Scheme::hwStatic, Scheme::pipmFull};
+
+    TablePrinter table("Figure 12: inter-host access stall cycles / "
+                       "native execution time");
+    std::vector<std::string> header = {"workload"};
+    for (Scheme s : schemes)
+        header.push_back(std::string(toString(s)));
+    table.header(header);
+
+    std::vector<double> sums(std::size(schemes), 0.0);
+    unsigned count = 0;
+    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+        const RunResult native =
+            cachedRun(cfg, Scheme::native, *workload, opts);
+        std::vector<std::string> row = {workload->name()};
+        for (std::size_t i = 0; i < std::size(schemes); ++i) {
+            const RunResult r =
+                cachedRun(cfg, schemes[i], *workload, opts);
+            const double frac =
+                static_cast<double>(r.interHostStallCycles) /
+                (static_cast<double>(native.execCycles) * total_cores);
+            sums[i] += frac;
+            row.push_back(TablePrinter::pct(frac));
+        }
+        table.row(row);
+        ++count;
+    }
+    std::vector<std::string> avg = {"average"};
+    for (double s : sums)
+        avg.push_back(TablePrinter::pct(s / count));
+    table.row(avg);
+    table.print(std::cout);
+    std::cout << "Paper: Nomad 19.1% / Memtis 16.6% / HeMem 16.8% / "
+                 "OS-skew 8.7% / HW-static 4.1% / PIPM 1.5%.\n";
+    return 0;
+}

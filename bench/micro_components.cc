@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Component microbenchmarks (google-benchmark): throughput of the hot
+ * structures the simulator exercises on every access — the set-
+ * associative arrays, remapping caches, majority vote, DRAM/link timing
+ * models, the OoO core model, trace generation, and a full end-to-end
+ * access through the assembled system.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cache/set_assoc.hh"
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "mem/dram.hh"
+#include "os/address_space.hh"
+#include "pipm/pipm_state.hh"
+#include "pipm/remap_cache.hh"
+#include "sim/core.hh"
+#include "sim/system.hh"
+#include "verify/checker.hh"
+#include "workloads/catalog.hh"
+
+namespace
+{
+
+using namespace pipm;
+
+void
+BM_SetAssocLookup(benchmark::State &state)
+{
+    SetAssoc<int> cache(1024, 16);
+    for (std::uint64_t k = 0; k < 8192; ++k)
+        cache.insert(k, 0);
+    Rng rng(1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(cache.lookup(rng.below(8192)));
+}
+BENCHMARK(BM_SetAssocLookup);
+
+void
+BM_SetAssocInsertEvict(benchmark::State &state)
+{
+    SetAssoc<int> cache(256, 16);
+    std::uint64_t k = 0;
+    for (auto _ : state) {
+        if (!cache.probe(k))
+            benchmark::DoNotOptimize(cache.insert(k, 0));
+        ++k;
+    }
+}
+BENCHMARK(BM_SetAssocInsertEvict);
+
+void
+BM_RemapCacheLookup(benchmark::State &state)
+{
+    const SystemConfig cfg = defaultConfig();
+    RemapCache cache(cfg.pipm.localCacheBytes, 4, cfg.pipm.localCacheWays,
+                     cfg.pipm.localCacheRoundTrip, "rc");
+    Rng rng(2);
+    for (auto _ : state) {
+        const PageFrame page = rng.below(200'000);
+        if (!cache.lookup(page))
+            cache.fill(page);
+    }
+}
+BENCHMARK(BM_RemapCacheLookup);
+
+void
+BM_MajorityVote(benchmark::State &state)
+{
+    SystemConfig cfg = testConfig();
+    AddressSpace space(cfg, 1024 * pageBytes, 8 * pageBytes);
+    PipmState pipm(cfg.pipm, cfg.numHosts, PipmMode::vote, space);
+    Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(pipm.deviceAccess(
+            rng.below(1024), static_cast<HostId>(rng.below(2))));
+    }
+}
+BENCHMARK(BM_MajorityVote);
+
+void
+BM_DramAccess(benchmark::State &state)
+{
+    DramDevice dram(defaultConfig().localDram, "d");
+    Rng rng(4);
+    Cycles now = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            dram.access(rng.below(1u << 27), now, false));
+        now += 40;
+    }
+}
+BENCHMARK(BM_DramAccess);
+
+void
+BM_CoreIssueLoad(benchmark::State &state)
+{
+    OooCore core(defaultConfig().core);
+    for (auto _ : state) {
+        core.advanceGap(20);
+        core.issueLoad(400);
+    }
+}
+BENCHMARK(BM_CoreIssueLoad);
+
+void
+BM_TraceGeneration(benchmark::State &state)
+{
+    auto wl = workloadByName("pr", defaultConfig().footprintScale);
+    auto trace = wl->makeTrace(0, 0, 4, 4, 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(trace->next());
+}
+BENCHMARK(BM_TraceGeneration);
+
+void
+BM_EndToEndAccess(benchmark::State &state)
+{
+    const SystemConfig cfg = defaultConfig();
+    auto wl = workloadByName("pr", cfg.footprintScale);
+    MultiHostSystem system(cfg, Scheme::pipmFull, *wl, 1);
+    auto trace = wl->makeTrace(0, 0, cfg.coresPerHost, cfg.numHosts, 1);
+    Cycles now = 0;
+    for (auto _ : state) {
+        const MemRef ref = trace->next();
+        benchmark::DoNotOptimize(system.access(0, 0, ref, now));
+        now += 50;
+    }
+}
+BENCHMARK(BM_EndToEndAccess);
+
+void
+BM_ProtocolCheck2Hosts(benchmark::State &state)
+{
+    for (auto _ : state)
+        benchmark::DoNotOptimize(checkProtocol(2));
+}
+BENCHMARK(BM_ProtocolCheck2Hosts);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Table 1: the evaluated workloads, their suites and memory footprints,
+ * plus the synthetic-model parameters this reproduction derives them
+ * from (see DESIGN.md for the substitution rationale).
+ */
+
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table_printer.hh"
+#include "workloads/catalog.hh"
+
+int
+main()
+{
+    using namespace pipm;
+
+    const SystemConfig cfg = defaultConfig();
+    TablePrinter table("Table 1: evaluated workloads");
+    table.header({"benchmark", "suite", "footprint", "scaled heap",
+                  "affinity", "zipf", "read%", "scan%", "hot lines/page"});
+    for (const PatternParams &p : table1Patterns()) {
+        SyntheticWorkload wl(p, cfg.footprintScale);
+        table.row({p.name, p.suite,
+                   std::to_string(p.footprintFullBytes >> 30) + "GB",
+                   std::to_string(wl.sharedBytes() >> 20) + "MB",
+                   TablePrinter::num(p.partitionAffinity, 2),
+                   TablePrinter::num(p.zipfTheta, 2),
+                   TablePrinter::pct(p.readFrac, 0),
+                   TablePrinter::pct(p.scanFrac, 0),
+                   p.hotLinesPerPage ? std::to_string(p.hotLinesPerPage)
+                                     : "all"});
+    }
+    table.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Table 2: the (scaled-down) system configuration, as configured in
+ * common/config.hh, including the reproduction's additional scale knobs.
+ */
+
+#include <iostream>
+
+#include "common/config.hh"
+
+int
+main()
+{
+    using namespace pipm;
+    const SystemConfig cfg = defaultConfig();
+    std::cout << "== Table 2: scaled-down system configuration ==\n"
+              << cfg.describe()
+              << "Repro scaling     | footprint 1/" << cfg.footprintScale
+              << ", OS-migration time 1/" << cfg.timeScale << ", L1 1/"
+              << cfg.l1Scale << ", LLC 1/" << cfg.llcScale
+              << ", page-copy bytes 1/" << cfg.migrationBytesScale
+              << " (see DESIGN.md)\n";
+    return 0;
+}

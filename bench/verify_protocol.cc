@@ -1,0 +1,55 @@
+/**
+ * @file
+ * §5.1.4 verification: exhaustive explicit-state checking of the PIPM
+ * coherence protocol (the reproduction's Murphi analog). Verifies SWMR,
+ * the data-value invariant, the I'/ME encoding rules and directory
+ * precision over every interleaving of reads/writes/evictions/
+ * promotions/revocations for 2, 3 and 4 hosts, and reports the explored
+ * state space.
+ */
+
+#include <iostream>
+
+#include "common/table_printer.hh"
+#include "verify/checker.hh"
+#include "verify/multiline_model.hh"
+
+int
+main()
+{
+    using namespace pipm;
+
+    TablePrinter table("Protocol verification (Murphi-analog explicit-"
+                       "state checking)");
+    table.header({"hosts", "result", "states", "transitions"});
+    bool all_ok = true;
+    for (unsigned hosts = 2; hosts <= 4; ++hosts) {
+        const CheckResult result = checkProtocol(hosts);
+        all_ok = all_ok && result.ok;
+        table.row({std::to_string(hosts),
+                   result.ok ? "SAFE" : "VIOLATION: " + result.violation,
+                   std::to_string(result.statesExplored),
+                   std::to_string(result.transitions)});
+        if (!result.ok)
+            std::cerr << result.traceString(hosts);
+    }
+    table.print(std::cout);
+
+    TablePrinter table2("Two-line page model (page-level couplings: "
+                        "shared entry, whole-page revocation)");
+    table2.header({"hosts", "result", "states", "transitions"});
+    for (unsigned hosts = 2; hosts <= 3; ++hosts) {
+        const CheckResult result = checkMultiLineProtocol(hosts);
+        all_ok = all_ok && result.ok;
+        table2.row({std::to_string(hosts),
+                    result.ok ? "SAFE"
+                              : "VIOLATION: " + result.violation,
+                    std::to_string(result.statesExplored),
+                    std::to_string(result.transitions)});
+    }
+    table2.print(std::cout);
+    std::cout << "Invariants: single-writer-multiple-reader, data-value "
+                 "(reads return the latest write), I'/ME encoding "
+                 "consistency, directory precision, deadlock freedom.\n";
+    return all_ok ? 0 : 1;
+}

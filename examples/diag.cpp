@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Diagnostics utility: runs one (workload, scheme) combination without
+ * the measurement harness and dumps every internal stat group — the
+ * system counters, cache/LLC, link, DRAM, PIPM and remapping-cache
+ * stats. Useful when investigating where cycles go under a new
+ * configuration or workload.
+ *
+ * Usage: example_diag [workload] [refs-per-core] [scheme]
+ */
+#include <cstdlib>
+#include <iostream>
+
+#include "common/config.hh"
+#include "sim/core.hh"
+#include "sim/system.hh"
+#include "workloads/catalog.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace pipm;
+    SystemConfig cfg = defaultConfig();
+    auto wl = workloadByName(argc > 1 ? argv[1] : "pr", cfg.footprintScale);
+    Scheme scheme = Scheme::native;
+    if (argc > 3) {
+        const std::string want = argv[3];
+        for (Scheme s : allSchemes) {
+            if (want == toString(s))
+                scheme = s;
+        }
+    }
+    MultiHostSystem sys(cfg, scheme, *wl, 42);
+
+    const std::uint64_t refs =
+        argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 50'000;
+
+    std::vector<OooCore> cores;
+    std::vector<std::unique_ptr<CoreTrace>> traces;
+    for (unsigned h = 0; h < cfg.numHosts; ++h) {
+        for (unsigned c = 0; c < cfg.coresPerHost; ++c) {
+            cores.emplace_back(cfg.core);
+            traces.push_back(wl->makeTrace(h, c, cfg.coresPerHost,
+                                           cfg.numHosts, 42 + h * 64 + c));
+        }
+    }
+    std::vector<std::uint64_t> done(cores.size(), 0);
+    std::uint64_t finished = 0;
+    while (finished < cores.size()) {
+        std::size_t best = 0;
+        Cycles bt = maxCycles;
+        for (std::size_t i = 0; i < cores.size(); ++i) {
+            if (done[i] < refs && cores[i].now() < bt) {
+                bt = cores[i].now();
+                best = i;
+            }
+        }
+        auto &core = cores[best];
+        const MemRef ref = traces[best]->next();
+        core.advanceGap(ref.gap);
+        sys.tick(core.now());
+        const auto h = static_cast<HostId>(best / cfg.coresPerHost);
+        const auto c = static_cast<CoreId>(best % cfg.coresPerHost);
+        auto res = sys.access(h, c, ref, core.now());
+        if (res.stall)
+            core.stall(res.stall);
+        if (ref.op == MemOp::read)
+            core.issueLoad(res.latency);
+        else
+            core.issueStore(res.latency);
+        if (++done[best] == refs)
+            ++finished;
+    }
+    Cycles maxc = 0;
+    std::uint64_t instr = 0;
+    for (auto &core : cores) {
+        core.drainAll();
+        maxc = std::max(maxc, core.now());
+        instr += core.instructions();
+    }
+    std::cout << "cycles=" << maxc << " instr=" << instr
+              << " ipc/core=" << double(instr) / maxc / cores.size()
+              << "\n\n";
+    std::cout << sys.stats().dump() << '\n';
+    std::cout << sys.hierarchy(0).stats().dump() << '\n';
+    std::cout << sys.link(0).stats().dump() << '\n';
+    std::cout << sys.cxlDram().stats().dump() << '\n';
+    std::cout << sys.localDram(0).stats().dump() << '\n';
+    if (sys.pipmState())
+        std::cout << sys.pipmState()->stats().dump() << '\n';
+    if (sys.localRemapCache(0))
+        std::cout << sys.localRemapCache(0)->stats().dump() << '\n';
+    if (sys.globalRemapCache())
+        std::cout << sys.globalRemapCache()->stats().dump() << '\n';
+    return 0;
+}

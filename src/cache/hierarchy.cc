@@ -1,0 +1,174 @@
+#include "cache/hierarchy.hh"
+
+namespace pipm
+{
+
+namespace
+{
+
+/** Sets for a cache of sizeBytes with 64 B lines and `ways` ways. */
+unsigned
+setsFor(const CacheConfig &c)
+{
+    return static_cast<unsigned>(c.sizeBytes / (lineBytes * c.ways));
+}
+
+} // namespace
+
+CacheHierarchy::CacheHierarchy(const SystemConfig &cfg, std::uint64_t seed)
+    : numCores_(cfg.coresPerHost),
+      l1Rt_(cfg.l1.roundTrip),
+      llcRt_(cfg.llcPerCore.roundTrip),
+      llc_(setsFor(CacheConfig{cfg.llcBytesPerCore() * cfg.coresPerHost,
+                               cfg.llcPerCore.ways, cfg.llcPerCore.roundTrip}),
+           cfg.llcPerCore.ways, ReplPolicy::lru, seed),
+      stats_("cache")
+{
+    l1s_.reserve(numCores_);
+    for (unsigned c = 0; c < numCores_; ++c) {
+        l1s_.emplace_back(
+            setsFor(CacheConfig{cfg.l1Bytes(), cfg.l1.ways,
+                                cfg.l1.roundTrip}),
+            cfg.l1.ways, ReplPolicy::lru, seed + 17 * (c + 1));
+    }
+    stats_.addCounter(&l1Hits, "l1_hits", "accesses satisfied by the L1");
+    stats_.addCounter(&llcHits, "llc_hits", "accesses satisfied by the LLC");
+    stats_.addCounter(&misses, "misses", "accesses missing the hierarchy");
+    stats_.addCounter(&llcEvictions, "llc_evictions",
+                      "lines evicted from the LLC for capacity");
+}
+
+CacheHierarchy::LookupResult
+CacheHierarchy::lookup(CoreId core, LineAddr line)
+{
+    panic_if(core >= numCores_, "core id ", core, " out of range");
+    LlcMeta *llc_line = llc_.lookup(line);
+    if (!llc_line) {
+        // Inclusive hierarchy: absent from LLC implies absent from L1s.
+        misses.inc();
+        return {HitLevel::miss, HostState::I};
+    }
+    if (l1s_[core].lookup(line)) {
+        l1Hits.inc();
+        return {HitLevel::l1, llc_line->state};
+    }
+    llcHits.inc();
+    return {HitLevel::llc, llc_line->state};
+}
+
+void
+CacheHierarchy::recordWrite(CoreId core, LineAddr line, std::uint64_t data)
+{
+    LlcMeta *llc_line = llc_.lookup(line);
+    panic_if(!llc_line, "recordWrite on uncached line ", line);
+    panic_if(llc_line->state != HostState::M &&
+                 llc_line->state != HostState::ME,
+             "write to line ", line, " in non-writable state ",
+             toString(llc_line->state));
+    llc_line->dirty = true;
+    llc_line->data = data;
+    dropFromL1s(line, static_cast<int>(core));
+    if (L1Meta *l1_line = l1s_[core].lookup(line))
+        l1_line->dirty = true;
+}
+
+std::optional<CacheHierarchy::Eviction>
+CacheHierarchy::fill(CoreId core, LineAddr line, HostState state, bool dirty,
+                     std::uint64_t data)
+{
+    panic_if(state == HostState::I, "filling line ", line, " in state I");
+    std::optional<Eviction> out;
+    if (!llc_.probe(line)) {
+        auto victim = llc_.insert(line, LlcMeta{state, dirty, data});
+        if (victim) {
+            llcEvictions.inc();
+            // Inclusive: back-invalidate the victim from all L1s. A dirty
+            // L1 copy cannot be newer than the LLC copy because writes
+            // update both (recordWrite), so no data merge is needed.
+            dropFromL1s(victim->key, -1);
+            out = Eviction{victim->key, victim->meta.state,
+                           victim->meta.dirty, victim->meta.data};
+        }
+    } else {
+        // Already resident (e.g. upgrade fill): refresh state/data.
+        LlcMeta *m = llc_.lookup(line);
+        m->state = state;
+        m->dirty = m->dirty || dirty;
+        m->data = data;
+    }
+    if (!l1s_[core].probe(line)) {
+        // L1 victims need no writeback: the LLC copy is authoritative.
+        l1s_[core].insert(line, L1Meta{false});
+    }
+    return out;
+}
+
+HostState
+CacheHierarchy::stateOf(LineAddr line) const
+{
+    const LlcMeta *m = llc_.probe(line);
+    return m ? m->state : HostState::I;
+}
+
+void
+CacheHierarchy::setState(LineAddr line, HostState state)
+{
+    LlcMeta *m = llc_.lookup(line);
+    panic_if(!m, "setState on uncached line ", line);
+    panic_if(state == HostState::I,
+             "use invalidateLine to drop a line, not setState(I)");
+    m->state = state;
+}
+
+std::optional<CacheHierarchy::Eviction>
+CacheHierarchy::invalidateLine(LineAddr line)
+{
+    auto entry = llc_.invalidate(line);
+    if (!entry)
+        return std::nullopt;
+    dropFromL1s(line, -1);
+    return Eviction{line, entry->meta.state, entry->meta.dirty,
+                    entry->meta.data};
+}
+
+std::uint64_t
+CacheHierarchy::dataOf(LineAddr line) const
+{
+    const LlcMeta *m = llc_.probe(line);
+    panic_if(!m, "dataOf on uncached line ", line);
+    return m->data;
+}
+
+void
+CacheHierarchy::markClean(LineAddr line)
+{
+    LlcMeta *m = llc_.lookup(line);
+    panic_if(!m, "markClean on uncached line ", line);
+    m->dirty = false;
+}
+
+std::vector<CacheHierarchy::Eviction>
+CacheHierarchy::flushAll()
+{
+    std::vector<Eviction> out;
+    llc_.forEach([&out](const SetAssoc<LlcMeta>::Entry &e) {
+        out.push_back(Eviction{e.key, e.meta.state, e.meta.dirty,
+                               e.meta.data});
+    });
+    llc_.clear();
+    for (auto &l1 : l1s_)
+        l1.clear();
+    return out;
+}
+
+void
+CacheHierarchy::dropFromL1s(LineAddr line, int except)
+{
+    for (unsigned c = 0; c < numCores_; ++c) {
+        if (static_cast<int>(c) == except)
+            continue;
+        l1s_[c].invalidate(line);
+    }
+}
+
+} // namespace pipm

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Per-host cache hierarchy: one private L1 per core plus an inclusive
+ * shared LLC.
+ *
+ * The local coherence directory of Fig. 2 is modelled as the LLC's tag
+ * metadata: because the hierarchy is inclusive, the set of lines a host
+ * caches equals its LLC content, and the host-level coherence state
+ * (HostState) is stored alongside each LLC line. Lines in the PIPM I'
+ * state live in local DRAM, not in any cache, so they consume no
+ * space here (see coherence/state.hh).
+ *
+ * The hierarchy is purely functional-plus-occupancy: callers charge hit
+ * latencies from the config and drive coherence transactions on misses.
+ * Each line carries a 64-bit data token so that integration tests can
+ * check the single-writer-multiple-reader and data-value invariants.
+ */
+
+#ifndef PIPM_CACHE_HIERARCHY_HH
+#define PIPM_CACHE_HIERARCHY_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "cache/set_assoc.hh"
+#include "coherence/state.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Where a lookup was satisfied. */
+enum class HitLevel : std::uint8_t { l1, llc, miss };
+
+/** The cache hierarchy of a single host. */
+class CacheHierarchy
+{
+  public:
+    /** A line leaving the LLC (capacity eviction or invalidation). */
+    struct Eviction
+    {
+        LineAddr line = 0;
+        HostState state = HostState::I;
+        bool dirty = false;
+        std::uint64_t data = 0;
+    };
+
+    /** Outcome of a lookup. */
+    struct LookupResult
+    {
+        HitLevel level = HitLevel::miss;
+        HostState state = HostState::I;   ///< host-level state (I on miss)
+    };
+
+    CacheHierarchy(const SystemConfig &cfg, std::uint64_t seed);
+
+    /**
+     * Probe the hierarchy for a demand access. Updates replacement state
+     * on hits but performs no fills, dirty-marking or state changes.
+     */
+    LookupResult lookup(CoreId core, LineAddr line);
+
+    /**
+     * Complete a write hit: mark the line dirty, update its data token and
+     * invalidate any other core's L1 copy (intra-host coherence).
+     * The caller must have upgraded the host state to M/ME first.
+     */
+    void recordWrite(CoreId core, LineAddr line, std::uint64_t data);
+
+    /**
+     * Fill a line into the LLC and the requesting core's L1 after a miss
+     * is resolved.
+     * @return the LLC capacity eviction caused by the fill, if any,
+     *         which the caller must handle (writeback / migration).
+     */
+    std::optional<Eviction> fill(CoreId core, LineAddr line,
+                                 HostState state, bool dirty,
+                                 std::uint64_t data);
+
+    /** Host-level state of a line (I if not cached). */
+    HostState stateOf(LineAddr line) const;
+
+    /** Change the host-level state of a cached line (up/downgrades). */
+    void setState(LineAddr line, HostState state);
+
+    /**
+     * Remove a line everywhere in the host (remote invalidation or recall).
+     * @return the line's content if it was cached
+     */
+    std::optional<Eviction> invalidateLine(LineAddr line);
+
+    /** Data token of a cached line (panics if absent). */
+    std::uint64_t dataOf(LineAddr line) const;
+
+    /** Mark a cached line clean (after its dirty data was written back). */
+    void markClean(LineAddr line);
+
+    /** Drop every cached line, returning dirty ones for writeback. */
+    std::vector<Eviction> flushAll();
+
+    Cycles l1RoundTrip() const { return l1Rt_; }
+    Cycles llcRoundTrip() const { return llcRt_; }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter l1Hits;
+    Counter llcHits;
+    Counter misses;
+    Counter llcEvictions;
+
+  private:
+    struct L1Meta
+    {
+        bool dirty = false;
+    };
+
+    struct LlcMeta
+    {
+        HostState state = HostState::I;
+        bool dirty = false;
+        std::uint64_t data = 0;
+    };
+
+    /** Invalidate a line from every L1 except `except` (-1: all). */
+    void dropFromL1s(LineAddr line, int except);
+
+    unsigned numCores_;
+    Cycles l1Rt_;
+    Cycles llcRt_;
+    std::vector<SetAssoc<L1Meta>> l1s_;   ///< one per core
+    SetAssoc<LlcMeta> llc_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_CACHE_HIERARCHY_HH

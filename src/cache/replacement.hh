@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Replacement policies for set-associative structures.
+ *
+ * Victim selection is factored out of the cache array so that caches,
+ * directories and remapping caches can share policies. Policies operate on
+ * small per-line replacement words maintained by the array: LRU uses a
+ * monotonically increasing use stamp, SRRIP a 2-bit re-reference counter,
+ * Random ignores the word entirely.
+ */
+
+#ifndef PIPM_CACHE_REPLACEMENT_HH
+#define PIPM_CACHE_REPLACEMENT_HH
+
+#include <cstdint>
+#include <span>
+
+#include "common/rng.hh"
+
+namespace pipm
+{
+
+/** Which victim-selection policy a set-associative structure uses. */
+enum class ReplPolicy : std::uint8_t { lru, random, srrip };
+
+/** Per-line replacement state word, interpreted per policy. */
+using ReplWord = std::uint64_t;
+
+/** Maximum re-reference prediction value for 2-bit SRRIP. */
+static constexpr ReplWord srripMax = 3;
+
+/**
+ * Stateless policy functions over one set's replacement words.
+ * The cache passes a span of words for valid lines plus its use clock.
+ */
+class Replacement
+{
+  public:
+    explicit Replacement(ReplPolicy policy, std::uint64_t seed = 1)
+        : policy_(policy), rng_(seed)
+    {
+    }
+
+    /** Initialise the word of a line on fill. */
+    ReplWord
+    onFill(std::uint64_t use_clock)
+    {
+        switch (policy_) {
+          case ReplPolicy::lru:
+            return use_clock;
+          case ReplPolicy::srrip:
+            return srripMax - 1;   // long re-reference prediction
+          case ReplPolicy::random:
+            return 0;
+        }
+        return 0;
+    }
+
+    /** Update the word of a line on hit. */
+    ReplWord
+    onHit(ReplWord word, std::uint64_t use_clock)
+    {
+        switch (policy_) {
+          case ReplPolicy::lru:
+            return use_clock;
+          case ReplPolicy::srrip:
+            return 0;              // near-immediate re-reference
+          case ReplPolicy::random:
+            return word;
+        }
+        return word;
+    }
+
+    /**
+     * Choose a victim among valid ways.
+     * @param words replacement words of the valid ways in the set
+     * @return index into words of the victim
+     */
+    std::size_t
+    victim(std::span<ReplWord> words)
+    {
+        switch (policy_) {
+          case ReplPolicy::lru: {
+            std::size_t best = 0;
+            for (std::size_t i = 1; i < words.size(); ++i) {
+                if (words[i] < words[best])
+                    best = i;
+            }
+            return best;
+          }
+          case ReplPolicy::srrip: {
+            // Age until some line reaches srripMax, then evict it.
+            while (true) {
+                for (std::size_t i = 0; i < words.size(); ++i) {
+                    if (words[i] >= srripMax)
+                        return i;
+                }
+                for (auto &w : words)
+                    ++w;
+            }
+          }
+          case ReplPolicy::random:
+            return static_cast<std::size_t>(rng_.below(words.size()));
+        }
+        return 0;
+    }
+
+    ReplPolicy policy() const { return policy_; }
+
+  private:
+    ReplPolicy policy_;
+    Rng rng_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_CACHE_REPLACEMENT_HH

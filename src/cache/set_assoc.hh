@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Generic set-associative array used for caches, coherence directories and
+ * remapping caches.
+ *
+ * The array is keyed by an arbitrary 64-bit key (a line address for caches,
+ * a page frame for remapping caches) and stores per-entry metadata of type
+ * Meta. Timing is not modelled here; callers charge their own hit/miss
+ * latencies. The simulator resolves each miss atomically, so no MSHRs are
+ * needed at this layer — memory-level parallelism is modelled by the core's
+ * instruction window instead (see sim/core.hh).
+ */
+
+#ifndef PIPM_CACHE_SET_ASSOC_HH
+#define PIPM_CACHE_SET_ASSOC_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "cache/replacement.hh"
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+/**
+ * A set-associative array of Meta entries keyed by 64-bit keys.
+ * @tparam Meta per-entry payload (must be default-constructible)
+ */
+template <typename Meta>
+class SetAssoc
+{
+  public:
+    /** Upper bound on associativity (stack scratch sizing). */
+    static constexpr unsigned maxWays = 64;
+
+    /** One resident entry, exposed to callers on hit/eviction. */
+    struct Entry
+    {
+        std::uint64_t key = 0;
+        Meta meta{};
+    };
+
+    /**
+     * @param sets number of sets (power of two)
+     * @param ways associativity
+     * @param policy replacement policy
+     * @param seed RNG seed for random replacement
+     */
+    SetAssoc(unsigned sets, unsigned ways,
+             ReplPolicy policy = ReplPolicy::lru, std::uint64_t seed = 1)
+        : sets_(sets), ways_(ways), repl_(policy, seed),
+          lines_(static_cast<std::size_t>(sets) * ways)
+    {
+        panic_if(sets == 0 || (sets & (sets - 1)) != 0,
+                 "set count must be a nonzero power of two, got ", sets);
+        panic_if(ways == 0, "associativity must be positive");
+    }
+
+    /** Build with a total capacity in entries instead of explicit sets. */
+    static SetAssoc
+    withCapacity(std::uint64_t entries, unsigned ways,
+                 ReplPolicy policy = ReplPolicy::lru, std::uint64_t seed = 1)
+    {
+        std::uint64_t sets = entries / ways;
+        // Round down to a power of two; a slightly smaller cache is the
+        // honest direction for a capacity that does not divide evenly.
+        std::uint64_t p2 = 1;
+        while (p2 * 2 <= sets)
+            p2 *= 2;
+        return SetAssoc(static_cast<unsigned>(p2 ? p2 : 1), ways, policy,
+                        seed);
+    }
+
+    /** Look up a key; updates replacement state on hit. */
+    Meta *
+    lookup(std::uint64_t key)
+    {
+        Slot *slot = find(key);
+        if (!slot)
+            return nullptr;
+        slot->repl = repl_.onHit(slot->repl, ++useClock_);
+        return &slot->entry.meta;
+    }
+
+    /** Look up without touching replacement state (probe). */
+    const Meta *
+    probe(std::uint64_t key) const
+    {
+        const Slot *slot = const_cast<SetAssoc *>(this)->find(key);
+        return slot ? &slot->entry.meta : nullptr;
+    }
+
+    /**
+     * Insert a key, evicting a victim from its set if full.
+     * @param key the new key (must not already be present)
+     * @param meta payload for the new entry
+     * @return the evicted entry, if any
+     */
+    std::optional<Entry>
+    insert(std::uint64_t key, Meta meta)
+    {
+        panic_if(find(key) != nullptr, "duplicate insert of key ", key);
+        const std::size_t base = setBase(key);
+        // Prefer an invalid way.
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot &slot = lines_[base + w];
+            if (!slot.valid) {
+                fill(slot, key, std::move(meta));
+                return std::nullopt;
+            }
+        }
+        // Evict per policy. Associativity is bounded, so the scratch
+        // words live on the stack (hot path: one per fill).
+        panic_if(ways_ > maxWays, "associativity above ", maxWays);
+        ReplWord words[maxWays];
+        for (unsigned w = 0; w < ways_; ++w)
+            words[w] = lines_[base + w].repl;
+        const std::size_t victim_way =
+            repl_.victim(std::span<ReplWord>(words, ways_));
+        // SRRIP ages the whole set while choosing; write the words back.
+        if (repl_.policy() == ReplPolicy::srrip) {
+            for (unsigned w = 0; w < ways_; ++w)
+                lines_[base + w].repl = words[w];
+        }
+        Slot &victim = lines_[base + victim_way];
+        Entry evicted = victim.entry;
+        fill(victim, key, std::move(meta));
+        return evicted;
+    }
+
+    /** Remove a key if present; returns its entry. */
+    std::optional<Entry>
+    invalidate(std::uint64_t key)
+    {
+        Slot *slot = find(key);
+        if (!slot)
+            return std::nullopt;
+        Entry out = slot->entry;
+        slot->valid = false;
+        return out;
+    }
+
+    /** Apply fn to every valid entry (e.g. flush, stats, invariants). */
+    void
+    forEach(const std::function<void(const Entry &)> &fn) const
+    {
+        for (const Slot &slot : lines_) {
+            if (slot.valid)
+                fn(slot.entry);
+        }
+    }
+
+    /** Apply fn to every valid entry, allowing mutation of the meta. */
+    void
+    forEachMutable(const std::function<void(Entry &)> &fn)
+    {
+        for (Slot &slot : lines_) {
+            if (slot.valid)
+                fn(slot.entry);
+        }
+    }
+
+    /** Drop every entry without notifying anyone. */
+    void
+    clear()
+    {
+        for (Slot &slot : lines_)
+            slot.valid = false;
+    }
+
+    /** Number of valid entries (O(capacity); for stats/tests only). */
+    std::uint64_t
+    occupancy() const
+    {
+        std::uint64_t n = 0;
+        for (const Slot &slot : lines_) {
+            if (slot.valid)
+                ++n;
+        }
+        return n;
+    }
+
+    unsigned sets() const { return sets_; }
+    unsigned ways() const { return ways_; }
+    std::uint64_t capacity() const { return std::uint64_t(sets_) * ways_; }
+
+  private:
+    struct Slot
+    {
+        bool valid = false;
+        ReplWord repl = 0;
+        Entry entry{};
+    };
+
+    std::size_t
+    setBase(std::uint64_t key) const
+    {
+        // Multiplicative hash spreads page-strided keys across sets.
+        const std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+        return static_cast<std::size_t>((h >> 32) & (sets_ - 1)) * ways_;
+    }
+
+    Slot *
+    find(std::uint64_t key)
+    {
+        const std::size_t base = setBase(key);
+        for (unsigned w = 0; w < ways_; ++w) {
+            Slot &slot = lines_[base + w];
+            if (slot.valid && slot.entry.key == key)
+                return &slot;
+        }
+        return nullptr;
+    }
+
+    void
+    fill(Slot &slot, std::uint64_t key, Meta meta)
+    {
+        slot.valid = true;
+        slot.repl = repl_.onFill(++useClock_);
+        slot.entry.key = key;
+        slot.entry.meta = std::move(meta);
+    }
+
+    unsigned sets_;
+    unsigned ways_;
+    Replacement repl_;
+    std::uint64_t useClock_ = 0;
+    std::vector<Slot> lines_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_CACHE_SET_ASSOC_HH

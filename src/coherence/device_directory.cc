@@ -1,0 +1,62 @@
+#include "coherence/device_directory.hh"
+
+#include <algorithm>
+
+namespace pipm
+{
+
+DeviceDirectory::DeviceDirectory(const DirectoryConfig &cfg)
+    : slices_(cfg.slices),
+      roundTrip_(cfg.roundTrip),
+      serviceCycles_(std::max<Cycles>(1, cfg.roundTrip / 8)),
+      sliceBusyUntil_(cfg.slices, 0),
+      entries_(cfg.sets * cfg.slices, cfg.ways, ReplPolicy::lru),
+      stats_("device_dir")
+{
+    stats_.addCounter(&lookups, "lookups", "directory lookups");
+    stats_.addCounter(&recalls, "recalls",
+                      "entries recalled for capacity");
+}
+
+Cycles
+DeviceDirectory::accessLatency(LineAddr line, Cycles now)
+{
+    lookups.inc();
+    const unsigned slice = static_cast<unsigned>(line % slices_);
+    const Cycles start = std::max(now, sliceBusyUntil_[slice]);
+    sliceBusyUntil_[slice] = start + serviceCycles_;
+    return (start - now) + roundTrip_;
+}
+
+DirEntry *
+DeviceDirectory::lookup(LineAddr line)
+{
+    return entries_.lookup(line);
+}
+
+const DirEntry *
+DeviceDirectory::probe(LineAddr line) const
+{
+    return entries_.probe(line);
+}
+
+std::optional<DeviceDirectory::Recall>
+DeviceDirectory::allocate(LineAddr line, DirEntry entry)
+{
+    auto victim = entries_.insert(line, entry);
+    if (!victim)
+        return std::nullopt;
+    recalls.inc();
+    return Recall{victim->key, victim->meta};
+}
+
+std::optional<DirEntry>
+DeviceDirectory::deallocate(LineAddr line)
+{
+    auto e = entries_.invalidate(line);
+    if (!e)
+        return std::nullopt;
+    return e->meta;
+}
+
+} // namespace pipm

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * The device coherence directory on the CXL memory node (Fig. 2).
+ *
+ * Tracks, for each CXL-DSM line cached by any host, the device-level
+ * coherence state and the set of sharer hosts. The directory is a finite
+ * sliced set-associative structure (Table 2: 2048 sets x 16 ways x 16
+ * slices); allocating an entry for a line whose set is full *recalls* a
+ * victim line — the caller must invalidate it at its sharers (and collect
+ * dirty data) before the new entry is live.
+ *
+ * Lines in the PIPM I' state are represented by the in-memory bit, not by
+ * directory entries, so partial migration reduces directory pressure
+ * (§4.3.3 "PIPM does not introduce extra CXL directory resource
+ * contention ... but instead reduces it").
+ */
+
+#ifndef PIPM_COHERENCE_DEVICE_DIRECTORY_HH
+#define PIPM_COHERENCE_DEVICE_DIRECTORY_HH
+
+#include <cstdint>
+#include <optional>
+
+#include "cache/set_assoc.hh"
+#include "coherence/state.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Directory record for one CXL line. */
+struct DirEntry
+{
+    DevState state = DevState::I;
+    std::uint32_t sharers = 0;     ///< bitmask of hosts holding the line
+
+    bool has(HostId h) const { return sharers & (1u << h); }
+    void add(HostId h) { sharers |= 1u << h; }
+    void remove(HostId h) { sharers &= ~(1u << h); }
+
+    /** The owning host; only meaningful in state M. */
+    HostId
+    owner() const
+    {
+        for (HostId h = 0; h < 32; ++h) {
+            if (sharers & (1u << h))
+                return h;
+        }
+        return invalidHost;
+    }
+};
+
+/** The sliced device directory with recall-on-eviction semantics. */
+class DeviceDirectory
+{
+  public:
+    /** A victim entry that must be recalled from its sharers. */
+    struct Recall
+    {
+        LineAddr line = 0;
+        DirEntry entry{};
+    };
+
+    explicit DeviceDirectory(const DirectoryConfig &cfg);
+
+    /**
+     * Charge the latency of one directory access, including slice
+     * contention (each slice serves one request per service slot).
+     */
+    Cycles accessLatency(LineAddr line, Cycles now);
+
+    /** Find the entry for a line; nullptr if untracked (state I). */
+    DirEntry *lookup(LineAddr line);
+
+    /** Probe without updating replacement state. */
+    const DirEntry *probe(LineAddr line) const;
+
+    /**
+     * Allocate an entry for a line (which must be untracked).
+     * @return a victim to recall first, if the set was full
+     */
+    std::optional<Recall> allocate(LineAddr line, DirEntry entry);
+
+    /** Drop the entry for a line (last sharer gone / migrated to I'). */
+    std::optional<DirEntry> deallocate(LineAddr line);
+
+    StatGroup &stats() { return stats_; }
+
+    Counter lookups;
+    Counter recalls;
+
+  private:
+    unsigned slices_;
+    Cycles roundTrip_;
+    Cycles serviceCycles_;
+    std::vector<Cycles> sliceBusyUntil_;
+    SetAssoc<DirEntry> entries_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_COHERENCE_DEVICE_DIRECTORY_HH

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Coherence state taxonomy for multi-host CXL-DSM, including the PIPM
+ * extensions of §4.3.2.
+ *
+ * Host-level states describe a line's status within one host (its local
+ * coherence directory / inclusive LLC). Device-level states describe the
+ * CXL device coherence directory's view of which hosts cache a CXL line.
+ *
+ * PIPM adds:
+ *  - ME (Migrated-Modified/Exclusive): the line's latest value has been
+ *    migrated into this host's local DRAM and is cached exclusively here;
+ *    local accesses need no device directory traffic.
+ *  - I' (Migrated-Invalid): the line has been migrated into the host's
+ *    local DRAM but is not currently cached. I' is *encoded*, not stored:
+ *    directory state I plus an in-memory bit of 1 (so it costs no
+ *    directory capacity). The simulator represents the in-memory bit as
+ *    the per-line bitmap in the local/global remapping state and exposes
+ *    I' through queries, exactly mirroring the encoding of Fig. 9.
+ */
+
+#ifndef PIPM_COHERENCE_STATE_HH
+#define PIPM_COHERENCE_STATE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace pipm
+{
+
+/** Host-level (local directory) stable states. */
+enum class HostState : std::uint8_t
+{
+    I,   ///< not cached in this host
+    S,   ///< cached, clean, possibly shared with other hosts
+    M,   ///< cached, exclusive and writable (MSI-style M, may be clean)
+    ME   ///< PIPM: migrated to local DRAM, cached exclusively here
+};
+
+/** Device directory stable states for a CXL line. */
+enum class DevState : std::uint8_t
+{
+    I,   ///< no host caches the line (latest in CXL memory, or I' if bit=1)
+    S,   ///< one or more hosts hold clean copies
+    M    ///< exactly one host owns the latest (dirty) copy
+};
+
+constexpr std::string_view
+toString(HostState s)
+{
+    switch (s) {
+      case HostState::I: return "I";
+      case HostState::S: return "S";
+      case HostState::M: return "M";
+      case HostState::ME: return "ME";
+    }
+    return "?";
+}
+
+constexpr std::string_view
+toString(DevState s)
+{
+    switch (s) {
+      case DevState::I: return "I";
+      case DevState::S: return "S";
+      case DevState::M: return "M";
+    }
+    return "?";
+}
+
+} // namespace pipm
+
+#endif // PIPM_COHERENCE_STATE_HH

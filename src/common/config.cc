@@ -1,0 +1,107 @@
+#include "common/config.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+void
+SystemConfig::validate() const
+{
+    fatal_if(numHosts == 0 || numHosts > 32,
+             "numHosts must be in [1,32] (5-bit host IDs), got ", numHosts);
+    fatal_if(coresPerHost == 0, "coresPerHost must be positive");
+    fatal_if(footprintScale == 0, "footprintScale must be positive");
+    fatal_if(timeScale == 0, "timeScale must be positive");
+    fatal_if(localBytesPerHost() < pageBytes,
+             "local DRAM per host smaller than one page");
+    fatal_if(cxlPoolBytes() < pageBytes, "CXL pool smaller than one page");
+    fatal_if(l1Scale == 0 || llcScale == 0, "cache scales must be positive");
+    fatal_if((l1Bytes() % (lineBytes * l1.ways)) != 0,
+             "scaled L1 size not divisible into sets");
+    fatal_if((llcBytesPerCore() % (lineBytes * llcPerCore.ways)) != 0,
+             "scaled LLC size not divisible into sets");
+    fatal_if(pipm.migrationThreshold == 0,
+             "PIPM migration threshold must be positive");
+    fatal_if(pipm.migrationThreshold >=
+                 (1u << pipm.globalCounterBits),
+             "migration threshold must fit in the global counter");
+    fatal_if(osMigration.maxPagesPerEpoch == 0,
+             "maxPagesPerEpoch must be positive");
+}
+
+std::string
+SystemConfig::describe() const
+{
+    std::ostringstream os;
+    os << "Architecture     | " << numHosts << " hosts, 1 single-socket CPU "
+       << "each host\n"
+       << "CPU              | " << coresPerHost << " OoO cores, 4GHz, "
+       << core.width << "-wide, " << core.robEntries << "-entry ROB, "
+       << core.loadQueue << "-entry LQ, " << core.storeQueue
+       << "-entry SQ\n"
+       << "Private L1-(I/D) | " << l1.sizeBytes / 1024 << "KB, " << l1.ways
+       << "-way, " << l1.roundTrip << " cycle RT latency\n"
+       << "Shared LLC       | " << llcPerCore.sizeBytes / (1024 * 1024)
+       << "MB per core, " << llcPerCore.ways << "-way, "
+       << llcPerCore.roundTrip << "-cycle RT latency\n"
+       << "DRAM             | " << cxlDram.channels << "x DDR5-4800 channels "
+       << (cxlPoolBytesFull >> 30) << "GB CXL-DSM; " << localDram.channels
+       << "x DDR5-4800 channel " << (localBytesPerHostFull >> 30)
+       << "GB DRAM per host (footprint scale 1/" << footprintScale << ")\n"
+       << "tRC-tRCD-tCL-tRP | " << localDram.tRCns << "-" << localDram.tRCDns
+       << "-" << localDram.tCLns << "-" << localDram.tRPns << " ns\n"
+       << "CXL link         | latency: " << link.latencyNs
+       << "ns, bandwidth: " << link.bytesPerNs
+       << "GB/s (per direction)\n"
+       << "CXL Directory    | " << deviceDirectory.sets << "-set, "
+       << deviceDirectory.ways << "-way per slice, "
+       << deviceDirectory.slices << " slices, "
+       << deviceDirectory.roundTrip / 2 << "-cycle RT @2GHz\n"
+       << "PIPM parameters  | " << pipm.globalCacheBytes / 1024
+       << "KB " << pipm.globalCacheWays << "-way global remapping cache, "
+       << pipm.globalCacheRoundTrip << "-cycle RT; "
+       << pipm.localCacheBytes / (1024 * 1024) << "MB "
+       << pipm.localCacheWays << "-way local remapping cache, "
+       << pipm.localCacheRoundTrip << "-cycle RT; Migration threshold: "
+       << pipm.migrationThreshold << "\n"
+       << "OS migration     | interval " << osMigration.intervalMs
+       << "ms, 4KB costs " << osMigration.perPageInitiatorUs
+       << "us initiator / " << osMigration.perPageOtherUs
+       << "us others (time scale 1/" << timeScale << ")\n";
+    return os.str();
+}
+
+SystemConfig
+defaultConfig()
+{
+    SystemConfig cfg;      // Table 2 values are the member defaults.
+    cfg.validate();
+    return cfg;
+}
+
+SystemConfig
+testConfig()
+{
+    SystemConfig cfg;
+    cfg.numHosts = 2;
+    cfg.coresPerHost = 1;
+    cfg.l1 = CacheConfig{4 * 1024, 4, 4};
+    cfg.llcPerCore = CacheConfig{64 * 1024, 8, 24};
+    cfg.l1Scale = 1;      // test sizes are already small
+    cfg.llcScale = 1;
+    cfg.localBytesPerHostFull = 64ull << 20;   // 64 MB
+    cfg.cxlPoolBytesFull = 256ull << 20;       // 256 MB
+    cfg.footprintScale = 4;                    // -> 16 MB local, 64 MB CXL
+    cfg.timeScale = 1000;
+    cfg.pipm.globalCacheBytes = 4 * 1024;
+    cfg.pipm.localCacheBytes = 64 * 1024;
+    cfg.deviceDirectory.sets = 256;
+    cfg.localDirectory.sets = 256;
+    cfg.validate();
+    return cfg;
+}
+
+} // namespace pipm

@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Configuration of the simulated multi-host CXL-DSM machine.
+ *
+ * Defaults reproduce Table 2 of the paper (the "scaled-down system
+ * configuration"): 4 hosts x 4 OoO cores, 32 KB L1s, 2 MB/core shared LLC,
+ * DDR5-4800 local DRAM + CXL-DSM pool, 50 ns / 5 GB/s CXL links, a 16-slice
+ * device coherence directory, and the PIPM remapping caches (16 KB global,
+ * 1 MB local) with migration threshold 8.
+ *
+ * Two additional scale knobs keep experiments laptop-sized (see DESIGN.md):
+ *
+ *  - footprintScale divides every workload footprint (48 GB -> 768 MB at
+ *    the default of 64) together with the DRAM capacities, preserving the
+ *    working-set-to-LLC and pages-to-remap-cache ratios;
+ *  - timeScale divides the OS page-migration epoch *and* every per-epoch
+ *    kernel cost by the same factor, preserving the overhead ratios that
+ *    Fig. 4 measures while shrinking the cycles simulated per epoch.
+ *
+ * Demand-access latencies (cache, DRAM, CXL link) are never scaled; they
+ * are the physics under study.
+ */
+
+#ifndef PIPM_COMMON_CONFIG_HH
+#define PIPM_COMMON_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Core clock: 4 GHz, so 1 ns is 4 cycles. */
+static constexpr unsigned cyclesPerNs = 4;
+
+/** Convert nanoseconds to core cycles. */
+constexpr Cycles
+nsToCycles(double ns)
+{
+    return static_cast<Cycles>(ns * cyclesPerNs);
+}
+
+/** Out-of-order core parameters (Table 2). */
+struct CoreConfig
+{
+    unsigned width = 6;           ///< retire width per cycle
+    unsigned robEntries = 224;    ///< in-flight instruction window
+    unsigned loadQueue = 72;      ///< max outstanding loads
+    unsigned storeQueue = 56;     ///< max outstanding stores
+    /**
+     * L1 miss-status registers: bounds the number of long-latency loads
+     * in flight (the LQ also holds cache hits, so it alone would
+     * overstate achievable memory-level parallelism).
+     */
+    unsigned mshrs = 16;
+    /** Latency above which a load occupies an MSHR slot. */
+    Cycles mshrLatencyThreshold = 40;
+};
+
+/** One cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 0;
+    unsigned ways = 8;
+    Cycles roundTrip = 4;         ///< hit round-trip latency (core cycles)
+};
+
+/** DDR5 channel timing (Table 2: tRC-tRCD-tCL-tRP = 48-15-20-15 ns). */
+struct DramConfig
+{
+    double tRCns = 48.0;
+    double tRCDns = 15.0;
+    double tCLns = 20.0;
+    double tRPns = 15.0;
+    unsigned channels = 1;
+    unsigned banksPerChannel = 32;
+    unsigned rowBytes = 8192;
+    /** Peak per-channel bandwidth: DDR5-4800 is 38.4 GB/s ~= 9.6 B/cycle. */
+    double bytesPerCycle = 9.6;
+    /** Fixed controller/PHY overhead per access. */
+    double controllerNs = 10.0;
+};
+
+/** One CXL link direction: fixed latency plus serialisation bandwidth. */
+struct CxlLinkConfig
+{
+    double latencyNs = 50.0;       ///< per-direction propagation (Table 2)
+    double bytesPerNs = 5.0;       ///< 5 GB/s per direction (Table 2)
+    bool hasSwitch = false;        ///< extra hop through a CXL switch
+    double switchNs = 25.0;        ///< per-traversal switch latency
+    /** Aggregate switch bandwidth per direction (shared by all hosts). */
+    double switchBytesPerNs = 20.0;
+};
+
+/** Device coherence directory on the CXL memory node (Table 2). */
+struct DirectoryConfig
+{
+    unsigned sets = 2048;
+    unsigned ways = 16;
+    unsigned slices = 16;
+    /** 32-cycle RT at 2 GHz = 16 ns = 64 core cycles. */
+    Cycles roundTrip = nsToCycles(16.0);
+};
+
+/** The per-host local coherence directory. */
+struct LocalDirectoryConfig
+{
+    unsigned sets = 4096;
+    unsigned ways = 16;
+    Cycles roundTrip = 8;
+};
+
+/** PIPM remapping structures (Sections 4.2 and 4.4, Table 2). */
+struct PipmConfig
+{
+    /** Global remapping cache on the CXL device: 16 KB, 2 B entries. */
+    std::uint64_t globalCacheBytes = 16 * 1024;
+    unsigned globalCacheWays = 8;
+    Cycles globalCacheRoundTrip = 4;
+    /** Local remapping cache on each host RC: 1 MB, 4 B entries. */
+    std::uint64_t localCacheBytes = 1024 * 1024;
+    unsigned localCacheWays = 8;
+    Cycles localCacheRoundTrip = 8;
+    /** Majority-vote promotion threshold (global counter target). */
+    unsigned migrationThreshold = 8;
+    /** Width of the per-page global counter (6 bits, §4.2). */
+    unsigned globalCounterBits = 6;
+    /** Width of the per-page local counter (4 bits, §4.2). */
+    unsigned localCounterBits = 4;
+    /** Two-level radix local table: root access + leaf access on miss. */
+    unsigned tableLevels = 2;
+    /** Ideal-size baselines for the Fig. 16/17 sweeps. */
+    bool infiniteLocalCache = false;
+    bool infiniteGlobalCache = false;
+};
+
+/** Per-core TLB (see os/tlb.hh). Off by default: Table 2 does not
+ *  specify TLB parameters and the calibrated migration costs already
+ *  subsume shootdown overhead; enable to make refill costs emergent. */
+struct TlbModelConfig
+{
+    bool enabled = false;
+    unsigned entries = 1536;
+    unsigned ways = 8;
+    Cycles hitCycles = 1;
+    Cycles walkCycles = 120;
+};
+
+/** OS page-migration mechanism parameters (§5.1.4). */
+struct OsMigrationConfig
+{
+    /** Epoch between policy invocations; paper default 10 ms. */
+    double intervalMs = 10.0;
+    /** Per-4KB-page cost on the initiating core; paper: 20 us. */
+    double perPageInitiatorUs = 20.0;
+    /** Per-4KB-page cost on every other core (TLB shootdown); 5 us. */
+    double perPageOtherUs = 5.0;
+    /** Max pages migrated per epoch per host (batched transfers). */
+    unsigned maxPagesPerEpoch = 512;
+    /** Promotion threshold (accesses per epoch) for hotness policies. */
+    unsigned hotThreshold = 8;
+};
+
+/** Full system configuration. */
+struct SystemConfig
+{
+    unsigned numHosts = 4;
+    unsigned coresPerHost = 4;
+
+    CoreConfig core;
+    CacheConfig l1{32 * 1024, 8, 4};
+    /** Shared LLC: 2 MB per core, 16-way, 24-cycle RT. */
+    CacheConfig llcPerCore{2 * 1024 * 1024, 16, 24};
+
+    DramConfig localDram;          ///< one DDR5-4800 channel per host
+    DramConfig cxlDram{48, 15, 20, 15, 2, 32, 8192, 9.6, 10.0}; ///< 2 ch
+
+    CxlLinkConfig link;
+    DirectoryConfig deviceDirectory;
+    LocalDirectoryConfig localDirectory;
+    PipmConfig pipm;
+    OsMigrationConfig osMigration;
+    TlbModelConfig tlb;
+
+    /** Capacities before footprint scaling (Table 2). */
+    std::uint64_t localBytesPerHostFull = 32ull << 30;  ///< 32 GB
+    std::uint64_t cxlPoolBytesFull = 128ull << 30;      ///< 128 GB
+
+    /** Footprint divisor (capacities and workload footprints). */
+    unsigned footprintScale = 256;
+    /** Epoch/cost divisor for OS migration (see file comment). */
+    unsigned timeScale = 250;
+    /**
+     * Cache-capacity divisor. Shrinking the heap 256x while keeping
+     * Table 2's 8 MB/host LLC would let the LLC cover 17% of the heap
+     * (the paper's ratio is 0.07%), suppressing the capacity evictions
+     * that drive both writebacks and incremental migration. Scaling the
+     * cache capacities (L1 by l1Scale, LLC by llcScale) restores the
+     * working-set-greatly-exceeds-LLC regime. Latencies are unchanged.
+     */
+    unsigned l1Scale = 4;
+    unsigned llcScale = 16;
+    /** Divisor on per-page migration copy bytes (see
+     *  osPageTransferBytes). */
+    unsigned migrationBytesScale = 4;
+
+    /** Effective (scaled) L1 capacity in bytes. */
+    std::uint64_t
+    l1Bytes() const
+    {
+        return l1.sizeBytes / l1Scale;
+    }
+
+    /** Effective (scaled) LLC capacity per core in bytes. */
+    std::uint64_t
+    llcBytesPerCore() const
+    {
+        return llcPerCore.sizeBytes / llcScale;
+    }
+
+    /** Scaled local DRAM capacity per host. */
+    std::uint64_t
+    localBytesPerHost() const
+    {
+        return localBytesPerHostFull / footprintScale;
+    }
+
+    /** Scaled CXL-DSM pool capacity. */
+    std::uint64_t
+    cxlPoolBytes() const
+    {
+        return cxlPoolBytesFull / footprintScale;
+    }
+
+    /** Total shared-LLC capacity of one host. */
+    std::uint64_t
+    llcBytesPerHost() const
+    {
+        return llcPerCore.sizeBytes * coresPerHost;
+    }
+
+    /** OS migration epoch in core cycles after time scaling. */
+    Cycles
+    osEpochCycles() const
+    {
+        return nsToCycles(osMigration.intervalMs * 1e6) / timeScale;
+    }
+
+    /** Scaled initiating-core cost of migrating one page, in cycles. */
+    Cycles
+    osPageInitiatorCycles() const
+    {
+        return nsToCycles(osMigration.perPageInitiatorUs * 1e3) / timeScale;
+    }
+
+    /** Scaled per-other-core shootdown cost of one page, in cycles. */
+    Cycles
+    osPageOtherCycles() const
+    {
+        return nsToCycles(osMigration.perPageOtherUs * 1e3) / timeScale;
+    }
+
+    /**
+     * Scaled bytes charged to the CXL link per migrated 4 KB page. The
+     * transfer competes with demand traffic for bandwidth. Because the
+     * simulated runs compress execution time (timeScale) while migrating
+     * footprint-proportional page counts, charging the full 4 KB would
+     * overstate — and charging 4 KB/timeScale would erase — the bandwidth
+     * fraction migration consumes; migrationBytesScale is calibrated so
+     * that fraction lands in the regime Fig. 4 reports.
+     */
+    std::uint64_t
+    osPageTransferBytes() const
+    {
+        const std::uint64_t bytes = pageBytes / migrationBytesScale;
+        return bytes ? bytes : 1;
+    }
+
+    // ---- Unified physical address map -------------------------------
+    // [host0 local][host1 local]...[hostN-1 local][CXL pool]
+
+    /** Base of host h's local DRAM in the unified space. */
+    PhysAddr
+    localBase(HostId h) const
+    {
+        return static_cast<PhysAddr>(h) * localBytesPerHost();
+    }
+
+    /** Base of the CXL-DSM pool in the unified space. */
+    PhysAddr
+    cxlBase() const
+    {
+        return static_cast<PhysAddr>(numHosts) * localBytesPerHost();
+    }
+
+    /** One-past-the-end of the unified space. */
+    PhysAddr
+    addressSpaceEnd() const
+    {
+        return cxlBase() + cxlPoolBytes();
+    }
+
+    /** Range-check a unified PA (the check real CXL hosts do, §4.3.3). */
+    AddrRegion
+    regionOf(PhysAddr pa) const
+    {
+        return pa >= cxlBase() ? AddrRegion::cxlPool : AddrRegion::hostLocal;
+    }
+
+    /** For a hostLocal PA, which host's DRAM holds it. */
+    HostId
+    homeHostOf(PhysAddr pa) const
+    {
+        return static_cast<HostId>(pa / localBytesPerHost());
+    }
+
+    /** Validate internal consistency; fatal()s on user error. */
+    void validate() const;
+
+    /** Render the configuration as Table 2-style rows. */
+    std::string describe() const;
+};
+
+/** The Table 2 default configuration. */
+SystemConfig defaultConfig();
+
+/** A tiny configuration for unit tests (2 hosts, small memories). */
+SystemConfig testConfig();
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_CONFIG_HH

@@ -1,0 +1,43 @@
+#include "common/logging.hh"
+
+namespace pipm
+{
+namespace detail
+{
+
+bool throwOnError = false;
+
+[[noreturn]] void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("panic: ", msg, " @ ", file, ":", line);
+    if (throwOnError)
+        throw SimError{full};
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::abort();
+}
+
+[[noreturn]] void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = concat("fatal: ", msg, " @ ", file, ":", line);
+    if (throwOnError)
+        throw SimError{full};
+    std::fprintf(stderr, "%s\n", full.c_str());
+    std::exit(1);
+}
+
+void
+warnImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+informImpl(const std::string &msg)
+{
+    std::fprintf(stderr, "info: %s\n", msg.c_str());
+}
+
+} // namespace detail
+} // namespace pipm

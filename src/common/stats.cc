@@ -1,0 +1,56 @@
+#include "common/stats.hh"
+
+#include <sstream>
+
+namespace pipm
+{
+
+void
+StatGroup::addCounter(Counter *c, std::string name, std::string desc)
+{
+    counters_.push_back({c, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addAverage(Average *a, std::string name, std::string desc)
+{
+    averages_.push_back({a, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::addHistogram(Histogram *h, std::string name, std::string desc)
+{
+    histograms_.push_back({h, std::move(name), std::move(desc)});
+}
+
+void
+StatGroup::resetAll()
+{
+    for (auto &e : counters_)
+        e.stat->reset();
+    for (auto &e : averages_)
+        e.stat->reset();
+    for (auto &e : histograms_)
+        e.stat->reset();
+}
+
+std::string
+StatGroup::dump() const
+{
+    std::ostringstream os;
+    for (const auto &e : counters_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->value()
+           << "  # " << e.desc << '\n';
+    }
+    for (const auto &e : averages_) {
+        os << name_ << '.' << e.name << ' ' << e.stat->mean()
+           << " (n=" << e.stat->count() << ")  # " << e.desc << '\n';
+    }
+    for (const auto &e : histograms_) {
+        os << name_ << '.' << e.name << " mean=" << e.stat->mean()
+           << " n=" << e.stat->count() << "  # " << e.desc << '\n';
+    }
+    return os.str();
+}
+
+} // namespace pipm

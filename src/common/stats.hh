@@ -1,0 +1,135 @@
+/**
+ * @file
+ * A small statistics package in the spirit of gem5's: named scalar counters,
+ * averages and histograms registered in a StatGroup, dumpable as text.
+ *
+ * Stats are plain members of the owning component; registration only records
+ * name and description for dumping. All stats are reset together so that a
+ * warmup phase can be excluded from measurement.
+ */
+
+#ifndef PIPM_COMMON_STATS_HH
+#define PIPM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pipm
+{
+
+/** A monotonically increasing scalar statistic. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    void reset() { value_ = 0; }
+    std::uint64_t value() const { return value_; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** Running average of samples (sum / count). */
+class Average
+{
+  public:
+    void
+    sample(double v)
+    {
+        sum_ += v;
+        ++count_;
+    }
+
+    void
+    reset()
+    {
+        sum_ = 0.0;
+        count_ = 0;
+    }
+
+    double mean() const { return count_ ? sum_ / count_ : 0.0; }
+    std::uint64_t count() const { return count_; }
+    double sum() const { return sum_; }
+
+  private:
+    double sum_ = 0.0;
+    std::uint64_t count_ = 0;
+};
+
+/** Fixed-bucket histogram over [0, max) with overflow bucket. */
+class Histogram
+{
+  public:
+    Histogram(std::uint64_t bucket_width = 64, unsigned buckets = 32)
+        : width_(bucket_width), counts_(buckets + 1, 0)
+    {
+    }
+
+    void
+    sample(std::uint64_t v)
+    {
+        std::uint64_t b = v / width_;
+        if (b >= counts_.size() - 1)
+            b = counts_.size() - 1;
+        ++counts_[b];
+        sum_ += v;
+        ++total_;
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+        sum_ = 0;
+        total_ = 0;
+    }
+
+    std::uint64_t count() const { return total_; }
+    double mean() const { return total_ ? double(sum_) / double(total_) : 0; }
+    std::uint64_t bucketWidth() const { return width_; }
+    const std::vector<std::uint64_t> &buckets() const { return counts_; }
+
+  private:
+    std::uint64_t width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t sum_ = 0;
+    std::uint64_t total_ = 0;
+};
+
+/**
+ * A named collection of stats belonging to one component. Components
+ * register their stat members once; the group can dump and reset them.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    void addCounter(Counter *c, std::string name, std::string desc);
+    void addAverage(Average *a, std::string name, std::string desc);
+    void addHistogram(Histogram *h, std::string name, std::string desc);
+
+    /** Reset every registered stat (used after warmup). */
+    void resetAll();
+
+    /** Render all stats as "group.name value  # desc" lines. */
+    std::string dump() const;
+
+    const std::string &name() const { return name_; }
+
+  private:
+    struct CounterEntry { Counter *stat; std::string name, desc; };
+    struct AverageEntry { Average *stat; std::string name, desc; };
+    struct HistEntry { Histogram *stat; std::string name, desc; };
+
+    std::string name_;
+    std::vector<CounterEntry> counters_;
+    std::vector<AverageEntry> averages_;
+    std::vector<HistEntry> histograms_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_STATS_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aligned ASCII table output used by the benchmark harnesses to print the
+ * rows/series each paper table or figure reports.
+ */
+
+#ifndef PIPM_COMMON_TABLE_PRINTER_HH
+#define PIPM_COMMON_TABLE_PRINTER_HH
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pipm
+{
+
+/** Collects rows of string cells and prints them with aligned columns. */
+class TablePrinter
+{
+  public:
+    /** @param title Heading printed above the table. */
+    explicit TablePrinter(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row. */
+    void header(std::vector<std::string> cells);
+
+    /** Append a data row; cell counts may differ from the header. */
+    void row(std::vector<std::string> cells);
+
+    /** Render to a stream with per-column alignment and separators. */
+    void print(std::ostream &os) const;
+
+    /** Format a double with fixed precision (helper for cells). */
+    static std::string num(double v, int precision = 2);
+
+    /** Format a value as a percentage string, e.g. "42.3%". */
+    static std::string pct(double fraction, int precision = 1);
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_TABLE_PRINTER_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Fundamental address, identifier and time types shared by every subsystem
+ * of the multi-host CXL-DSM simulator.
+ *
+ * The simulated machine uses a single *unified physical address space*
+ * (CXL 3.1 GIM style): every host's local DRAM and the CXL-DSM pool are
+ * carved out of one flat range of physical addresses. Virtual addresses are
+ * per-process; the OS layer maps them onto the unified space.
+ */
+
+#ifndef PIPM_COMMON_TYPES_HH
+#define PIPM_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <limits>
+
+namespace pipm
+{
+
+/** Simulated time in core clock cycles (4 GHz by default, 0.25 ns each). */
+using Cycles = std::uint64_t;
+
+/** A virtual address within one host's process address space. */
+using VirtAddr = std::uint64_t;
+
+/** An address in the unified (GIM-style) physical address space. */
+using PhysAddr = std::uint64_t;
+
+/** Page frame number: PhysAddr >> pageShift. */
+using PageFrame = std::uint64_t;
+
+/** Cache-line number: PhysAddr >> lineShift. */
+using LineAddr = std::uint64_t;
+
+/** Identifies one host (compute node). Up to 32 hosts (5-bit IDs, §4.2). */
+using HostId = std::uint8_t;
+
+/** Identifies one core within a host. */
+using CoreId = std::uint16_t;
+
+static constexpr HostId invalidHost = std::numeric_limits<HostId>::max();
+static constexpr Cycles maxCycles = std::numeric_limits<Cycles>::max();
+
+static constexpr unsigned lineShift = 6;    ///< 64 B cache lines.
+static constexpr unsigned lineBytes = 1u << lineShift;
+static constexpr unsigned pageShift = 12;   ///< 4 KB pages.
+static constexpr unsigned pageBytes = 1u << pageShift;
+/** Cache lines per page (64 with 4 KB pages and 64 B lines). */
+static constexpr unsigned linesPerPage = pageBytes / lineBytes;
+
+/** Extract the page frame of a physical address. */
+constexpr PageFrame
+pageOf(PhysAddr pa)
+{
+    return pa >> pageShift;
+}
+
+/** Extract the line address of a physical address. */
+constexpr LineAddr
+lineOf(PhysAddr pa)
+{
+    return pa >> lineShift;
+}
+
+/** Line index within its page, in [0, linesPerPage). */
+constexpr unsigned
+lineInPage(PhysAddr pa)
+{
+    return (pa >> lineShift) & (linesPerPage - 1);
+}
+
+/** First byte address of a page frame. */
+constexpr PhysAddr
+pageBase(PageFrame pfn)
+{
+    return pfn << pageShift;
+}
+
+/** First byte address of a cache line. */
+constexpr PhysAddr
+lineBase(LineAddr line)
+{
+    return line << lineShift;
+}
+
+/** Page frame containing a line address. */
+constexpr PageFrame
+pageOfLine(LineAddr line)
+{
+    return line >> (pageShift - lineShift);
+}
+
+/** Kind of memory operation a core issues. */
+enum class MemOp : std::uint8_t { read, write };
+
+/**
+ * Where in the unified physical address space an address lives. Decided by
+ * a simple range check, exactly as §4.3.3 describes for real CXL hosts.
+ */
+enum class AddrRegion : std::uint8_t
+{
+    hostLocal,   ///< some host's local DRAM (private or GIM-exposed)
+    cxlPool      ///< the shared CXL-DSM pool
+};
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_TYPES_HH

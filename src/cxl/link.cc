@@ -1,0 +1,70 @@
+#include "cxl/link.hh"
+
+#include <algorithm>
+
+namespace pipm
+{
+
+CxlSwitch::CxlSwitch(double bytes_per_ns, double latency_ns)
+    : bytesPerCycle_(bytes_per_ns / cyclesPerNs),
+      latency_(nsToCycles(latency_ns)),
+      stats_("cxl_switch")
+{
+    stats_.addCounter(&messages, "messages", "messages switched");
+    stats_.addAverage(&queueDelay, "queue_delay",
+                      "cycles waiting for switch bandwidth");
+}
+
+Cycles
+CxlSwitch::traverse(LinkDir dir, unsigned bytes, Cycles now)
+{
+    const auto idx = static_cast<unsigned>(dir);
+    const Cycles start = std::max(now, busyUntil_[idx]);
+    queueDelay.sample(static_cast<double>(start - now));
+    const auto serialisation = std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(bytes) / bytesPerCycle_));
+    busyUntil_[idx] = start + serialisation;
+    messages.inc();
+    return (start - now) + serialisation + latency_;
+}
+
+CxlLink::CxlLink(const CxlLinkConfig &cfg, std::string name,
+                 CxlSwitch *shared_switch)
+    : bytesPerCycle_(cfg.bytesPerNs / cyclesPerNs),
+      propagation_(nsToCycles(cfg.latencyNs) +
+                   (cfg.hasSwitch && !shared_switch
+                        ? nsToCycles(cfg.switchNs)
+                        : 0)),
+      switch_(cfg.hasSwitch ? shared_switch : nullptr),
+      stats_(std::move(name))
+{
+    stats_.addCounter(&messages, "messages", "messages transferred");
+    stats_.addCounter(&bytesToDevice, "bytes_to_device",
+                      "bytes sent host->device");
+    stats_.addCounter(&bytesToHost, "bytes_to_host",
+                      "bytes sent device->host");
+    stats_.addAverage(&queueDelay, "queue_delay",
+                      "cycles waiting for the wire");
+}
+
+Cycles
+CxlLink::transfer(LinkDir dir, unsigned bytes, Cycles now)
+{
+    const auto idx = static_cast<unsigned>(dir);
+    const Cycles start = std::max(now, busyUntil_[idx]);
+    queueDelay.sample(static_cast<double>(start - now));
+    const auto serialisation = std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(bytes) / bytesPerCycle_));
+    busyUntil_[idx] = start + serialisation;
+    messages.inc();
+    if (dir == LinkDir::toDevice)
+        bytesToDevice.inc(bytes);
+    else
+        bytesToHost.inc(bytes);
+    Cycles lat = (start - now) + serialisation + propagation_;
+    if (switch_)
+        lat += switch_->traverse(dir, bytes, now + lat);
+    return lat;
+}
+
+} // namespace pipm

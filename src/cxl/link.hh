@@ -1,0 +1,116 @@
+/**
+ * @file
+ * CXL link model: fixed per-direction propagation latency plus
+ * serialisation bandwidth, with an optional switch hop (Table 2 / §5.4.1).
+ *
+ * Each host connects to the CXL memory node by one full-duplex link. The
+ * model tracks a busy-until clock per direction: a message waits for the
+ * wire, occupies it for size/bandwidth cycles, then takes the propagation
+ * delay (plus the switch traversal when configured). This captures both
+ * the latency sensitivity of Fig. 14 and the bandwidth sensitivity of
+ * Fig. 15, including contention between demand traffic and page-migration
+ * transfers.
+ */
+
+#ifndef PIPM_CXL_LINK_HH
+#define PIPM_CXL_LINK_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Direction of travel over a host<->device link. */
+enum class LinkDir : std::uint8_t { toDevice, toHost };
+
+/**
+ * CXL message sizes (bytes) charged on the wire. The configured link
+ * bandwidth is the *effective* data bandwidth (Table 2 footnote: 8 GB/s
+ * raw, 5 GB/s effective), so protocol framing is already accounted for:
+ * a data message charges exactly one line and control messages charge a
+ * nominal 8 bytes.
+ */
+struct CxlFlits
+{
+    static constexpr unsigned header = 8;         ///< req/ack/inv
+    static constexpr unsigned data = lineBytes;   ///< carrying a line
+};
+
+/**
+ * A shared CXL switch stage (§2.1 "optional CXL switches"): every
+ * host<->device message of every link crosses it, contending for its
+ * aggregate bandwidth and paying its traversal latency. Modelled like a
+ * link direction pair with a common byte budget.
+ */
+class CxlSwitch
+{
+  public:
+    /**
+     * @param bytes_per_ns aggregate switching bandwidth per direction
+     * @param latency_ns per-traversal latency
+     */
+    CxlSwitch(double bytes_per_ns, double latency_ns);
+
+    /** Cross the switch; returns queueing + traversal latency. */
+    Cycles traverse(LinkDir dir, unsigned bytes, Cycles now);
+
+    StatGroup &stats() { return stats_; }
+
+    Counter messages;
+    Average queueDelay;
+
+  private:
+    double bytesPerCycle_;
+    Cycles latency_;
+    Cycles busyUntil_[2] = {0, 0};
+    StatGroup stats_;
+};
+
+/** One full-duplex host<->device CXL link. */
+class CxlLink
+{
+  public:
+    /**
+     * @param cfg link parameters
+     * @param name stat-group name
+     * @param shared_switch optional switch every message crosses
+     *        (replaces the fixed per-traversal switch latency)
+     */
+    CxlLink(const CxlLinkConfig &cfg, std::string name,
+            CxlSwitch *shared_switch = nullptr);
+
+    /**
+     * Transmit one message.
+     * @param dir direction of travel
+     * @param bytes wire size of the message
+     * @param now departure time
+     * @return latency from `now` until the message arrives
+     */
+    Cycles transfer(LinkDir dir, unsigned bytes, Cycles now);
+
+    /** Propagation-only latency of one traversal (no queuing). */
+    Cycles propagation() const { return propagation_; }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter messages;
+    Counter bytesToDevice;
+    Counter bytesToHost;
+    Average queueDelay;
+
+  private:
+    double bytesPerCycle_;
+    Cycles propagation_;
+    CxlSwitch *switch_;
+    Cycles busyUntil_[2] = {0, 0};
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_CXL_LINK_HH

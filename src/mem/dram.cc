@@ -1,0 +1,97 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+namespace pipm
+{
+
+DramDevice::DramDevice(const DramConfig &cfg, std::string name)
+    : cfg_(cfg),
+      tRCD_(nsToCycles(cfg.tRCDns)),
+      tCL_(nsToCycles(cfg.tCLns)),
+      tRP_(nsToCycles(cfg.tRPns)),
+      tRC_(nsToCycles(cfg.tRCns)),
+      controller_(nsToCycles(cfg.controllerNs)),
+      burstCycles_(std::max<Cycles>(
+          1, static_cast<Cycles>(lineBytes / cfg.bytesPerCycle))),
+      banks_(static_cast<std::size_t>(cfg.channels) * cfg.banksPerChannel),
+      busFreeAt_(cfg.channels, 0),
+      stats_(std::move(name))
+{
+    stats_.addCounter(&reads, "reads", "read accesses");
+    stats_.addCounter(&writes, "writes", "write accesses");
+    stats_.addCounter(&rowHits, "row_hits", "row-buffer hits");
+    stats_.addCounter(&rowMisses, "row_misses", "row-buffer misses");
+    stats_.addAverage(&queueDelay, "queue_delay",
+                      "cycles spent waiting for bank/bus");
+}
+
+Cycles
+DramDevice::access(PhysAddr pa, Cycles now, bool is_write)
+{
+    const std::uint64_t row_global = pa / cfg_.rowBytes;
+    const unsigned channel =
+        static_cast<unsigned>(row_global % cfg_.channels);
+    const std::uint64_t row = row_global / cfg_.channels;
+    const unsigned bank_idx =
+        channel * cfg_.banksPerChannel +
+        static_cast<unsigned>(row % cfg_.banksPerChannel);
+    Bank &bank = banks_[bank_idx];
+
+    const Cycles arrival = now + controller_;
+
+    if (is_write) {
+        // Writes are absorbed by the controller's write buffer and
+        // drained opportunistically with row coalescing, so they charge
+        // only their data burst against the bank and bus.
+        writes.inc();
+        Cycles data_start = std::max(arrival, bank.readyAt);
+        data_start = std::max(data_start, busFreeAt_[channel]);
+        const Cycles wdone = data_start + burstCycles_;
+        bank.readyAt = wdone;
+        busFreeAt_[channel] = wdone;
+        if (bank.rowOpen && bank.openRow == row)
+            rowHits.inc();
+        else
+            rowMisses.inc();
+        bank.rowOpen = true;
+        bank.openRow = row;
+        return controller_ + 1;
+    }
+
+    // bank.readyAt is the earliest time the bank can deliver its next
+    // data burst: row-buffer hits pipeline their CAS commands, so
+    // back-to-back hits stream at burst rate; misses pay the
+    // precharge/activate sequence and the tRC window.
+    Cycles data_start;
+    Cycles min_latency;
+    if (bank.rowOpen && bank.openRow == row) {
+        rowHits.inc();
+        data_start = std::max(arrival + tCL_, bank.readyAt);
+        min_latency = tCL_;
+    } else {
+        rowMisses.inc();
+        Cycles act = std::max(arrival + (bank.rowOpen ? tRP_ : 0),
+                              bank.readyAt);
+        act = std::max(act, bank.lastActivate + tRC_);
+        bank.lastActivate = act;
+        data_start = act + tRCD_ + tCL_;
+        min_latency = (bank.rowOpen ? tRP_ : 0) + tRCD_ + tCL_;
+        bank.rowOpen = true;
+        bank.openRow = row;
+    }
+
+    // Banks operate in parallel; only the data burst occupies the
+    // channel bus, so accesses to different banks pipeline.
+    data_start = std::max(data_start, busFreeAt_[channel]);
+    const Cycles done = data_start + burstCycles_;
+    bank.readyAt = done;
+    busFreeAt_[channel] = done;
+    queueDelay.sample(static_cast<double>(done - arrival) -
+                      static_cast<double>(min_latency + burstCycles_));
+
+    reads.inc();
+    return done - now;
+}
+
+} // namespace pipm

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * DDR5 channel/bank timing model.
+ *
+ * Models the timing parameters of Table 2 (tRC-tRCD-tCL-tRP = 48-15-20-15)
+ * with open-page row buffers, per-bank occupancy and per-channel data-bus
+ * serialisation. The model is queue-based: each access computes its start
+ * time from the bank/bus busy-until clocks and pushes them forward, which
+ * captures bandwidth saturation and bank conflicts without event-driven
+ * machinery.
+ */
+
+#ifndef PIPM_MEM_DRAM_HH
+#define PIPM_MEM_DRAM_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** One DRAM device: N channels of M banks under a single controller. */
+class DramDevice
+{
+  public:
+    /**
+     * @param cfg timing and organisation parameters
+     * @param name stat-group name ("local_dram", "cxl_dram")
+     */
+    DramDevice(const DramConfig &cfg, std::string name);
+
+    /**
+     * Perform one 64 B access.
+     * @param pa device-relative physical address
+     * @param now current time
+     * @param is_write writes release the requester as soon as the command
+     *        is accepted; the bank still stays busy
+     * @return latency from `now` until the data is available (reads) or
+     *         the write is accepted
+     */
+    Cycles access(PhysAddr pa, Cycles now, bool is_write);
+
+    StatGroup &stats() { return stats_; }
+
+    Counter reads;
+    Counter writes;
+    Counter rowHits;
+    Counter rowMisses;
+    Average queueDelay;
+
+  private:
+    struct Bank
+    {
+        Cycles readyAt = 0;       ///< bank usable again at this time
+        Cycles lastActivate = 0;  ///< for the tRC constraint
+        std::uint64_t openRow = 0;
+        bool rowOpen = false;
+    };
+
+    DramConfig cfg_;
+    Cycles tRCD_, tCL_, tRP_, tRC_, controller_;
+    Cycles burstCycles_;
+    std::vector<Bank> banks_;         ///< channels * banksPerChannel
+    std::vector<Cycles> busFreeAt_;   ///< per-channel data bus
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MEM_DRAM_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Functional memory image: the authoritative data value of every memory
+ * line (local DRAM frames and the CXL pool).
+ *
+ * Each line holds a 64-bit token. Untouched lines read as a deterministic
+ * hash of their address, so data-value checks in integration tests are
+ * meaningful even for lines never written. The image is sparse: only
+ * written lines are stored.
+ */
+
+#ifndef PIPM_MEM_MEMORY_IMAGE_HH
+#define PIPM_MEM_MEMORY_IMAGE_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Sparse map from line address to data token. */
+class MemoryImage
+{
+  public:
+    /** The value a never-written line reads as. */
+    static std::uint64_t
+    pristine(LineAddr line)
+    {
+        std::uint64_t z = line + 0x9e3779b97f4a7c15ull;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+        return z ^ (z >> 31);
+    }
+
+    std::uint64_t
+    read(LineAddr line) const
+    {
+        auto it = data_.find(line);
+        return it == data_.end() ? pristine(line) : it->second;
+    }
+
+    void write(LineAddr line, std::uint64_t value) { data_[line] = value; }
+
+    /** Copy one line's value to another location (page migration). */
+    void
+    copyLine(LineAddr from, LineAddr to)
+    {
+        write(to, read(from));
+    }
+
+  private:
+    std::unordered_map<LineAddr, std::uint64_t> data_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MEM_MEMORY_IMAGE_HH

@@ -1,0 +1,72 @@
+#include "migration/harmful.hh"
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+HarmfulTracker::HarmfulTracker(Cycles est_local, Cycles est_cxl,
+                               Cycles est_gim, Cycles migration_cost)
+    : benefitPerHit_(est_cxl > est_local ? est_cxl - est_local : 0),
+      harmPerRemote_(est_gim > est_cxl ? est_gim - est_cxl : 0),
+      migrationCost_(migration_cost)
+{
+}
+
+void
+HarmfulTracker::onMigration(std::uint64_t shared_idx, HostId host)
+{
+    auto it = live_.find(shared_idx);
+    if (it != live_.end()) {
+        finalize(it->second);
+        live_.erase(it);
+    }
+    Record r;
+    r.host = host;
+    r.net = -static_cast<std::int64_t>(migrationCost_);
+    live_.emplace(shared_idx, r);
+}
+
+void
+HarmfulTracker::onDemotion(std::uint64_t shared_idx)
+{
+    auto it = live_.find(shared_idx);
+    if (it == live_.end())
+        return;
+    finalize(it->second);
+    live_.erase(it);
+}
+
+void
+HarmfulTracker::onLocalHit(std::uint64_t shared_idx)
+{
+    auto it = live_.find(shared_idx);
+    if (it != live_.end())
+        it->second.net += static_cast<std::int64_t>(benefitPerHit_);
+}
+
+void
+HarmfulTracker::onRemoteAccess(std::uint64_t shared_idx)
+{
+    auto it = live_.find(shared_idx);
+    if (it != live_.end())
+        it->second.net -= static_cast<std::int64_t>(harmPerRemote_);
+}
+
+void
+HarmfulTracker::finish()
+{
+    for (auto &[idx, record] : live_)
+        finalize(record);
+    live_.clear();
+}
+
+void
+HarmfulTracker::finalize(Record &r)
+{
+    total.inc();
+    if (r.net < 0)
+        harmful.inc();
+}
+
+} // namespace pipm

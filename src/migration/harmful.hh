@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Harmful-migration accounting (§3.2.1, Fig. 5).
+ *
+ * The paper defines a page migration as *harmful* when it increases total
+ * execution time: the initiating host gains local accesses, but every
+ * other host's references turn into 4-hop non-cacheable inter-host
+ * accesses. This tracker attributes, for each whole-page migration, the
+ * measured benefit (local-DRAM hits that would have been CXL accesses)
+ * against the measured harm (inter-host accesses that would have been
+ * cacheable CXL accesses, plus the kernel cost of the migration itself),
+ * and classifies the migration when it ends (demotion, re-migration or
+ * end of run).
+ */
+
+#ifndef PIPM_MIGRATION_HARMFUL_HH
+#define PIPM_MIGRATION_HARMFUL_HH
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Classifies OS page migrations as beneficial or harmful. */
+class HarmfulTracker
+{
+  public:
+    /**
+     * @param est_local analytic latency of a local-DRAM LLC miss
+     * @param est_cxl analytic latency of a cacheable 2-hop CXL access
+     * @param est_gim analytic latency of a 4-hop non-cacheable access
+     * @param migration_cost kernel cycles charged per migration
+     */
+    HarmfulTracker(Cycles est_local, Cycles est_cxl, Cycles est_gim,
+                   Cycles migration_cost);
+
+    /** A page was migrated to `host`; finalises any live record. */
+    void onMigration(std::uint64_t shared_idx, HostId host);
+
+    /** The page was demoted back to CXL. */
+    void onDemotion(std::uint64_t shared_idx);
+
+    /** A local LLC-miss access by the owning host (benefit). */
+    void onLocalHit(std::uint64_t shared_idx);
+
+    /** A non-cacheable inter-host access by another host (harm). */
+    void onRemoteAccess(std::uint64_t shared_idx);
+
+    /** Finalise all live records (end of measurement). */
+    void finish();
+
+    std::uint64_t totalMigrations() const { return total.value(); }
+    std::uint64_t harmfulMigrations() const { return harmful.value(); }
+
+    /** Fraction of migrations that increased execution time. */
+    double
+    harmfulFraction() const
+    {
+        return total.value()
+                   ? static_cast<double>(harmful.value()) / total.value()
+                   : 0.0;
+    }
+
+    Counter total;
+    Counter harmful;
+
+  private:
+    struct Record
+    {
+        HostId host = invalidHost;
+        std::int64_t net = 0;   ///< benefit - harm, in cycles
+    };
+
+    void finalize(Record &r);
+
+    Cycles benefitPerHit_;   ///< est_cxl - est_local
+    Cycles harmPerRemote_;   ///< est_gim - est_cxl
+    Cycles migrationCost_;
+    std::unordered_map<std::uint64_t, Record> live_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_HARMFUL_HH

@@ -1,0 +1,56 @@
+#include "migration/hemem.hh"
+
+namespace pipm
+{
+
+HememPolicy::HememPolicy(std::uint64_t pages, unsigned hosts)
+    : counts_(pages, hosts), lastAccessEpoch_(pages, 0)
+{
+}
+
+void
+HememPolicy::recordAccess(std::uint64_t shared_idx, HostId h)
+{
+    // HeMem observes accesses through PEBS sampling, not exact counts;
+    // model the sampling by recording one in eight accesses.
+    if ((sampleTick_++ & 7u) == 0)
+        counts_.record(shared_idx, h);
+}
+
+EpochPlan
+HememPolicy::epoch(const EpochContext &ctx,
+                   const std::vector<HostId> &migrated_to)
+{
+    EpochPlan plan;
+    std::vector<std::uint64_t> used = ctx.usedFramesPerHost;
+
+    for (std::uint64_t page : counts_.touched()) {
+        if (migrated_to[page] == invalidHost &&
+            counts_.total(page) >= ctx.hotThreshold &&
+            plan.promotions.size() < ctx.maxPagesPerEpoch) {
+            const HostId target = counts_.dominant(page);
+            if (used[target] < ctx.localBudgetPages) {
+                plan.promotions.push_back({page, target});
+                ++used[target];
+            }
+        }
+        lastAccessEpoch_[page] = epochNo_;
+    }
+
+    // Demote pages unreferenced for eight epochs (pressure-driven in the
+    // original; time-driven here to keep local DRAM from silting up).
+    for (std::uint64_t page = 0; page < migrated_to.size(); ++page) {
+        if (migrated_to[page] == invalidHost)
+            continue;
+        if (lastAccessEpoch_[page] + 8 <= epochNo_ &&
+            plan.demotions.size() < ctx.maxPagesPerEpoch) {
+            plan.demotions.push_back(page);
+        }
+    }
+
+    ++epochNo_;
+    counts_.rollEpoch();
+    return plan;
+}
+
+} // namespace pipm

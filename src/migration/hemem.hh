@@ -1,0 +1,41 @@
+/**
+ * @file
+ * HeMem-style frequency-threshold migration policy (§5.1.3 scheme 4).
+ *
+ * HeMem [Raybuck et al., SOSP'21] samples accesses with PEBS and promotes
+ * pages whose access count crosses a fixed hotness threshold; demotion
+ * happens under memory pressure, preferring cold pages. This model
+ * promotes a CXL page to its dominant accessor when its per-epoch access
+ * count reaches the configured threshold, and demotes migrated pages that
+ * have been unreferenced for several epochs.
+ */
+
+#ifndef PIPM_MIGRATION_HEMEM_HH
+#define PIPM_MIGRATION_HEMEM_HH
+
+#include "migration/os_policy.hh"
+
+namespace pipm
+{
+
+/** Fixed-threshold frequency policy. */
+class HememPolicy : public OsPolicy
+{
+  public:
+    HememPolicy(std::uint64_t pages, unsigned hosts);
+
+    std::string name() const override { return "hemem"; }
+    void recordAccess(std::uint64_t shared_idx, HostId h) override;
+    EpochPlan epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to) override;
+
+  private:
+    EpochCounts counts_;
+    std::vector<std::uint32_t> lastAccessEpoch_;
+    std::uint32_t epochNo_ = 1;
+    std::uint64_t sampleTick_ = 0;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_HEMEM_HH

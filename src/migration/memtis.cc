@@ -1,0 +1,89 @@
+#include "migration/memtis.hh"
+
+#include <algorithm>
+
+namespace pipm
+{
+
+MemtisPolicy::MemtisPolicy(std::uint64_t pages, unsigned hosts,
+                           unsigned cooling_epochs)
+    : counts_(pages, hosts), decayed_(pages, 0),
+      coolingEpochs_(cooling_epochs)
+{
+}
+
+void
+MemtisPolicy::recordAccess(std::uint64_t shared_idx, HostId h)
+{
+    counts_.record(shared_idx, h);
+}
+
+EpochPlan
+MemtisPolicy::epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to)
+{
+    EpochPlan plan;
+
+    // Fold this epoch's counts into the decayed hotness.
+    for (std::uint64_t page : counts_.touched()) {
+        const std::uint32_t sum = counts_.total(page);
+        const std::uint32_t updated = decayed_[page] + sum;
+        decayed_[page] =
+            static_cast<std::uint16_t>(std::min<std::uint32_t>(updated,
+                                                               0xffff));
+    }
+
+    // Rank this epoch's CXL-resident candidates by decayed hotness and
+    // promote the top until budgets or the batch cap bind.
+    std::vector<std::uint64_t> candidates;
+    for (std::uint64_t page : counts_.touched()) {
+        if (migrated_to[page] == invalidHost && decayed_[page] >= 2)
+            candidates.push_back(page);
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [this](std::uint64_t a, std::uint64_t b) {
+                  return decayed_[a] > decayed_[b];
+              });
+    std::vector<std::uint64_t> used = ctx.usedFramesPerHost;
+    for (std::uint64_t page : candidates) {
+        if (plan.promotions.size() >= ctx.maxPagesPerEpoch)
+            break;
+        const HostId target = counts_.dominant(page);
+        if (used[target] >= ctx.localBudgetPages)
+            continue;
+        plan.promotions.push_back({page, target});
+        ++used[target];
+    }
+
+    // Under pressure (>90% budget), demote the coldest migrated pages.
+    for (unsigned h = 0; h < ctx.numHosts; ++h) {
+        if (used[h] * 10 < ctx.localBudgetPages * 9)
+            continue;
+        std::vector<std::uint64_t> resident;
+        for (std::uint64_t page = 0; page < migrated_to.size(); ++page) {
+            if (migrated_to[page] == h)
+                resident.push_back(page);
+        }
+        std::sort(resident.begin(), resident.end(),
+                  [this](std::uint64_t a, std::uint64_t b) {
+                      return decayed_[a] < decayed_[b];
+                  });
+        const std::size_t demote_count =
+            std::min<std::size_t>(resident.size(),
+                                  ctx.maxPagesPerEpoch / ctx.numHosts);
+        for (std::size_t i = 0; i < demote_count; ++i)
+            plan.demotions.push_back(resident[i]);
+    }
+
+    // Cooling: periodically halve every counter.
+    if (epochNo_ % coolingEpochs_ == 0) {
+        for (auto &c : decayed_)
+            c = static_cast<std::uint16_t>(c >> 1);
+    }
+
+    ++epochNo_;
+    counts_.rollEpoch();
+    return plan;
+}
+
+} // namespace pipm

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Memtis-style frequency-based migration policy (§5.1.3 scheme 3).
+ *
+ * Memtis [Lee et al., SOSP'23] classifies pages by decaying access
+ * counters arranged in a histogram and sizes the hot set dynamically to
+ * fit the fast tier. This model keeps a decaying per-page counter (halved
+ * every cooling period) and, each epoch, promotes the highest-count CXL
+ * pages into their dominant accessor's local DRAM until the per-host
+ * budget or the per-epoch batch cap is reached — the budget-aware ranked
+ * selection is exactly the dynamic hot-set threshold. Cold migrated pages
+ * are demoted when a host's budget fills up.
+ */
+
+#ifndef PIPM_MIGRATION_MEMTIS_HH
+#define PIPM_MIGRATION_MEMTIS_HH
+
+#include "migration/os_policy.hh"
+
+namespace pipm
+{
+
+/** Frequency-based promotion with decaying counters. */
+class MemtisPolicy : public OsPolicy
+{
+  public:
+    /** @param cooling_epochs halve all counters every this many epochs */
+    MemtisPolicy(std::uint64_t pages, unsigned hosts,
+                 unsigned cooling_epochs = 4);
+
+    std::string name() const override { return "memtis"; }
+    void recordAccess(std::uint64_t shared_idx, HostId h) override;
+    EpochPlan epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to) override;
+
+  private:
+    EpochCounts counts_;
+    std::vector<std::uint16_t> decayed_;   ///< long-term hotness per page
+    unsigned coolingEpochs_;
+    std::uint32_t epochNo_ = 1;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_MEMTIS_HH

@@ -1,0 +1,59 @@
+#include "migration/nomad.hh"
+
+namespace pipm
+{
+
+NomadPolicy::NomadPolicy(std::uint64_t pages, unsigned hosts)
+    : counts_(pages, hosts), lastAccessEpoch_(pages, 0)
+{
+}
+
+void
+NomadPolicy::recordAccess(std::uint64_t shared_idx, HostId h)
+{
+    counts_.record(shared_idx, h);
+}
+
+EpochPlan
+NomadPolicy::epoch(const EpochContext &ctx,
+                   const std::vector<HostId> &migrated_to)
+{
+    EpochPlan plan;
+    std::vector<std::uint64_t> used = ctx.usedFramesPerHost;
+
+    for (std::uint64_t page : counts_.touched()) {
+        // Second-touch recency: hot if accessed in the previous epoch
+        // too, and touched more than incidentally this epoch (NUMA
+        // hint faults are rate-limited).
+        const bool recent = lastAccessEpoch_[page] != 0 &&
+                            lastAccessEpoch_[page] == epochNo_ - 1 &&
+                            counts_.total(page) >= 4;
+        if (recent && migrated_to[page] == invalidHost &&
+            plan.promotions.size() < ctx.maxPagesPerEpoch) {
+            const HostId target = counts_.dominant(page);
+            if (used[target] < ctx.localBudgetPages) {
+                plan.promotions.push_back({page, target});
+                ++used[target];
+            }
+        }
+        lastAccessEpoch_[page] = epochNo_;
+    }
+
+    // Demote migrated pages unreferenced for four full epochs
+    // (non-exclusive tiering keeps shadow copies, making demotion cheap
+    // but not instant).
+    for (std::uint64_t page = 0; page < migrated_to.size(); ++page) {
+        if (migrated_to[page] == invalidHost)
+            continue;
+        if (lastAccessEpoch_[page] + 4 <= epochNo_ &&
+            plan.demotions.size() < ctx.maxPagesPerEpoch) {
+            plan.demotions.push_back(page);
+        }
+    }
+
+    ++epochNo_;
+    counts_.rollEpoch();
+    return plan;
+}
+
+} // namespace pipm

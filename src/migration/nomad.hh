@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Nomad-style recency-based migration policy (§5.1.3 scheme 2).
+ *
+ * Nomad [Xiang et al., OSDI'24] promotes pages using the recency signal of
+ * TPP-style active lists — a page touched in consecutive scan windows is
+ * considered hot — and optimises the mechanism with transactional,
+ * asynchronous migration. This model reproduces the *policy*: promote a
+ * CXL page to its dominant accessor when it was accessed in both the
+ * current and the previous epoch; demote migrated pages that have gone
+ * unreferenced for two epochs. The mechanism costs (asynchronous batched
+ * copies, shootdowns) are charged by the migration executor in sim/.
+ */
+
+#ifndef PIPM_MIGRATION_NOMAD_HH
+#define PIPM_MIGRATION_NOMAD_HH
+
+#include "migration/os_policy.hh"
+
+namespace pipm
+{
+
+/** Recency-based (active-list) promotion policy. */
+class NomadPolicy : public OsPolicy
+{
+  public:
+    NomadPolicy(std::uint64_t pages, unsigned hosts);
+
+    std::string name() const override { return "nomad"; }
+    void recordAccess(std::uint64_t shared_idx, HostId h) override;
+    EpochPlan epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to) override;
+
+  private:
+    EpochCounts counts_;
+    /** Epoch number of each page's last access (0 = never). */
+    std::vector<std::uint32_t> lastAccessEpoch_;
+    std::uint32_t epochNo_ = 1;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_NOMAD_HH

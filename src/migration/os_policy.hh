@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Interface for OS-level (whole-page, epoch-driven) migration policies:
+ * Nomad, Memtis, HeMem and the OS-skew ablation (§5.1.3).
+ *
+ * The kernel invokes the policy once per migration epoch (Table 2 default:
+ * 10 ms, time-scaled). Between epochs the policy observes LLC-miss
+ * accesses to shared pages — the accesses page migration could actually
+ * improve, and a superset of what PEBS/page-table-scan sampling would
+ * deliver (we are generous to the baselines by giving them exact counts).
+ */
+
+#ifndef PIPM_MIGRATION_OS_POLICY_HH
+#define PIPM_MIGRATION_OS_POLICY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Static facts the policy may consult when planning an epoch. */
+struct EpochContext
+{
+    std::uint64_t sharedPages = 0;      ///< shared heap size in pages
+    unsigned numHosts = 0;
+    /** Local frames available for migrated pages, per host. */
+    std::uint64_t localBudgetPages = 0;
+    unsigned maxPagesPerEpoch = 0;      ///< batch cap per epoch
+    unsigned hotThreshold = 0;          ///< accesses/epoch deemed hot
+    /** Local frames currently holding migrated pages, per host. */
+    std::vector<std::uint64_t> usedFramesPerHost;
+};
+
+/** One planned promotion: shared page -> target host's local DRAM. */
+struct Promotion
+{
+    std::uint64_t sharedIdx;
+    HostId target;
+};
+
+/** The policy's plan for one epoch. */
+struct EpochPlan
+{
+    std::vector<Promotion> promotions;
+    std::vector<std::uint64_t> demotions;   ///< shared pages -> back to CXL
+};
+
+/** Base class for OS migration policies. */
+class OsPolicy
+{
+  public:
+    virtual ~OsPolicy() = default;
+
+    /** Policy name for reports. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Observe one LLC-miss access to a shared page.
+     * @param shared_idx shared page index
+     * @param h accessing host
+     */
+    virtual void recordAccess(std::uint64_t shared_idx, HostId h) = 0;
+
+    /**
+     * Plan the epoch that just ended.
+     * @param migrated_to current placement per shared page
+     *        (invalidHost = resident in CXL), indexed by shared page
+     */
+    virtual EpochPlan epoch(const EpochContext &ctx,
+                            const std::vector<HostId> &migrated_to) = 0;
+};
+
+/**
+ * Shared bookkeeping for epoch-count-based policies: per-page per-host
+ * access counts for the current epoch, with a touched-page list so that
+ * epoch processing is proportional to activity, not footprint.
+ */
+class EpochCounts
+{
+  public:
+    EpochCounts(std::uint64_t pages, unsigned hosts)
+        : hosts_(hosts),
+          counts_(pages * hosts, 0),
+          touchedStamp_(pages, 0)
+    {
+    }
+
+    void
+    record(std::uint64_t page, HostId h)
+    {
+        if (touchedStamp_[page] != stamp_) {
+            touchedStamp_[page] = stamp_;
+            touched_.push_back(page);
+            for (unsigned i = 0; i < hosts_; ++i)
+                counts_[page * hosts_ + i] = 0;
+        }
+        ++counts_[page * hosts_ + h];
+    }
+
+    /** Pages accessed at least once this epoch. */
+    const std::vector<std::uint64_t> &touched() const { return touched_; }
+
+    std::uint32_t
+    count(std::uint64_t page, HostId h) const
+    {
+        return touchedStamp_[page] == stamp_ ? counts_[page * hosts_ + h]
+                                             : 0;
+    }
+
+    std::uint32_t
+    total(std::uint64_t page) const
+    {
+        if (touchedStamp_[page] != stamp_)
+            return 0;
+        std::uint32_t sum = 0;
+        for (unsigned i = 0; i < hosts_; ++i)
+            sum += counts_[page * hosts_ + i];
+        return sum;
+    }
+
+    /** Host with the most accesses to `page` this epoch. */
+    HostId
+    dominant(std::uint64_t page) const
+    {
+        HostId best = 0;
+        std::uint32_t best_count = 0;
+        for (unsigned i = 0; i < hosts_; ++i) {
+            const std::uint32_t c = count(page, static_cast<HostId>(i));
+            if (c > best_count) {
+                best_count = c;
+                best = static_cast<HostId>(i);
+            }
+        }
+        return best;
+    }
+
+    /** Start a new epoch (O(1): stamps invalidate lazily). */
+    void
+    rollEpoch()
+    {
+        ++stamp_;
+        touched_.clear();
+    }
+
+  private:
+    unsigned hosts_;
+    std::vector<std::uint32_t> counts_;
+    std::vector<std::uint32_t> touchedStamp_;
+    std::uint32_t stamp_ = 1;
+    std::vector<std::uint64_t> touched_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_OS_POLICY_HH

@@ -1,0 +1,81 @@
+#include "migration/os_skew.hh"
+
+#include <algorithm>
+
+namespace pipm
+{
+
+OsSkewPolicy::OsSkewPolicy(std::uint64_t pages, unsigned hosts,
+                           unsigned threshold)
+    : threshold_(threshold), votes_(pages), queued_(pages, 0)
+{
+    (void)hosts;
+}
+
+void
+OsSkewPolicy::recordAccess(std::uint64_t shared_idx, HostId h)
+{
+    Vote &v = votes_[shared_idx];
+    if (v.counter == 0) {
+        v.cand = h;
+        v.counter = 1;
+    } else if (v.cand == h) {
+        if (v.counter < 63)
+            ++v.counter;
+    } else {
+        --v.counter;
+        if (v.counter == 0 && queued_[shared_idx] == 0) {
+            queued_[shared_idx] = 2;
+            drainedList_.push_back(shared_idx);
+        }
+        return;
+    }
+    if (v.cand == h && v.counter >= threshold_ &&
+        queued_[shared_idx] == 0) {
+        queued_[shared_idx] = 1;
+        firedList_.push_back(shared_idx);
+    }
+}
+
+EpochPlan
+OsSkewPolicy::epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to)
+{
+    EpochPlan plan;
+    std::vector<std::uint64_t> used = ctx.usedFramesPerHost;
+
+    for (std::uint64_t page : firedList_) {
+        queued_[page] = 0;
+        const Vote &v = votes_[page];
+        // Still a valid promotion? The vote may have drained meanwhile.
+        if (migrated_to[page] != invalidHost || v.counter < threshold_ ||
+            v.cand == invalidHost) {
+            continue;
+        }
+        if (plan.promotions.size() >= ctx.maxPagesPerEpoch)
+            continue;
+        if (used[v.cand] >= ctx.localBudgetPages)
+            continue;
+        plan.promotions.push_back({page, v.cand});
+        ++used[v.cand];
+    }
+    firedList_.clear();
+
+    for (std::uint64_t page : drainedList_) {
+        queued_[page] = 0;
+        if (migrated_to[page] == invalidHost)
+            continue;
+        // The vote drained since migration; demote unless the resident
+        // host has re-established itself as the candidate.
+        const Vote &v = votes_[page];
+        const bool reclaimed =
+            v.cand == migrated_to[page] && v.counter > 0;
+        if (!reclaimed && plan.demotions.size() < ctx.maxPagesPerEpoch)
+            plan.demotions.push_back(page);
+    }
+    drainedList_.clear();
+
+    return plan;
+}
+
+} // namespace pipm

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * OS-skew ablation (§5.1.3 scheme 5): the PIPM majority-vote migration
+ * policy driving a conventional kernel whole-page migration mechanism.
+ *
+ * Each shared page carries a Boyer-Moore candidate/counter pair updated on
+ * every observed access, exactly like PIPM's global remapping entry
+ * (§4.2). A page is promoted when one host out-accesses all others
+ * combined by the migration threshold, and demoted when the counter drains
+ * back to zero after migration — but promotion and demotion are executed
+ * as OS page migrations (page-table updates, TLB shootdowns, 4 KB copies)
+ * at epoch boundaries, isolating the value of the policy from the value of
+ * the hardware mechanism.
+ */
+
+#ifndef PIPM_MIGRATION_OS_SKEW_HH
+#define PIPM_MIGRATION_OS_SKEW_HH
+
+#include "migration/os_policy.hh"
+
+namespace pipm
+{
+
+/** PIPM's vote policy on the OS mechanism. */
+class OsSkewPolicy : public OsPolicy
+{
+  public:
+    /** @param threshold the majority-vote firing threshold */
+    OsSkewPolicy(std::uint64_t pages, unsigned hosts, unsigned threshold);
+
+    std::string name() const override { return "os-skew"; }
+    void recordAccess(std::uint64_t shared_idx, HostId h) override;
+    EpochPlan epoch(const EpochContext &ctx,
+                    const std::vector<HostId> &migrated_to) override;
+
+  private:
+    struct Vote
+    {
+        HostId cand = invalidHost;
+        std::uint8_t counter = 0;
+    };
+
+    unsigned threshold_;
+    std::vector<Vote> votes_;
+    /** Pages whose vote fired since the last epoch (dedup by flag). */
+    std::vector<std::uint64_t> firedList_;
+    std::vector<std::uint64_t> drainedList_;
+    std::vector<std::uint8_t> queued_;   ///< 1=fired queued, 2=drain queued
+};
+
+} // namespace pipm
+
+#endif // PIPM_MIGRATION_OS_SKEW_HH

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Per-core TLB model with shootdown support.
+ *
+ * The paper's multi-host migration overheads are dominated by page-table
+ * updates and TLB shootdowns (§3.1). The simulator charges those as the
+ * calibrated lump costs of §5.1.4 (20 us / 5 us per page); this module
+ * additionally makes the *refill* cost emergent: when enabled
+ * (SystemConfig::modelTlb), every demand access translates through a
+ * per-core TLB, misses pay a page-walk charge, and OS page migrations
+ * shoot the remapped page out of every core's TLB so the next access at
+ * each core re-walks.
+ *
+ * The TLB is keyed by a flat virtual-page id: shared pages use their
+ * shared index, private pages use a per-host disjoint range — exactly
+ * the namespace the trace generators emit.
+ */
+
+#ifndef PIPM_OS_TLB_HH
+#define PIPM_OS_TLB_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** TLB geometry and timing. */
+struct TlbConfig
+{
+    unsigned entries = 1536;   ///< unified second-level TLB reach
+    unsigned ways = 8;
+    Cycles hitCycles = 1;      ///< pipelined translation on a hit
+    /** Page-walk charge on a miss (pointer chases through the page
+     *  table; partially cached, so well under 4 full DRAM accesses). */
+    Cycles walkCycles = 120;
+};
+
+/** One core's TLB. */
+class Tlb
+{
+  public:
+    explicit Tlb(const TlbConfig &cfg, std::uint64_t seed = 1)
+        : cfg_(cfg),
+          tags_(SetAssoc<Empty>::withCapacity(cfg.entries, cfg.ways,
+                                              ReplPolicy::lru, seed)),
+          stats_("tlb")
+    {
+        stats_.addCounter(&hits, "hits", "TLB hits");
+        stats_.addCounter(&missCount, "misses", "TLB misses (walks)");
+        stats_.addCounter(&shootdowns, "shootdowns",
+                          "entries invalidated by shootdowns");
+    }
+
+    /**
+     * Translate a virtual page.
+     * @return latency charged to the access (hit or hit+walk)
+     */
+    Cycles
+    translate(std::uint64_t vpage)
+    {
+        if (tags_.lookup(vpage)) {
+            hits.inc();
+            return cfg_.hitCycles;
+        }
+        missCount.inc();
+        if (!tags_.probe(vpage))
+            tags_.insert(vpage, Empty{});
+        return cfg_.hitCycles + cfg_.walkCycles;
+    }
+
+    /** Shoot one page out (migration remap). */
+    void
+    shootdown(std::uint64_t vpage)
+    {
+        if (tags_.invalidate(vpage))
+            shootdowns.inc();
+    }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter hits;
+    Counter missCount;
+    Counter shootdowns;
+
+  private:
+    struct Empty
+    {
+    };
+
+    TlbConfig cfg_;
+    SetAssoc<Empty> tags_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_OS_TLB_HH

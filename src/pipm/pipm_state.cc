@@ -1,0 +1,239 @@
+#include "pipm/pipm_state.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+#include "os/address_space.hh"
+
+namespace pipm
+{
+
+PipmState::PipmState(const PipmConfig &cfg, unsigned num_hosts,
+                     PipmMode mode, AddressSpace &space)
+    : cfg_(cfg),
+      numHosts_(num_hosts),
+      mode_(mode),
+      space_(space),
+      counterMax_(static_cast<std::uint8_t>((1u << cfg.globalCounterBits) -
+                                            1)),
+      localCounterMax_(
+          static_cast<std::uint8_t>((1u << cfg.localCounterBits) - 1)),
+      local_(num_hosts),
+      linesOn_(num_hosts, 0),
+      stats_("pipm")
+{
+    stats_.addCounter(&promotions, "promotions",
+                      "partial migrations initiated");
+    stats_.addCounter(&revocations, "revocations",
+                      "partial migrations revoked");
+    stats_.addCounter(&linesIn, "lines_in",
+                      "lines incrementally migrated into local DRAM");
+    stats_.addCounter(&linesBack, "lines_back",
+                      "lines migrated back to CXL memory");
+    stats_.addCounter(&allocFailures, "alloc_failures",
+                      "promotions skipped for lack of local frames");
+}
+
+HostId
+PipmState::migratedHostOf(PageFrame cxl_page) const
+{
+    auto it = global_.find(cxl_page);
+    return it == global_.end() ? invalidHost : it->second.curHost;
+}
+
+bool
+PipmState::hasLocalEntry(HostId h, PageFrame cxl_page) const
+{
+    return local_[h].contains(cxl_page);
+}
+
+bool
+PipmState::lineMigrated(HostId h, PageFrame cxl_page,
+                        unsigned line_idx) const
+{
+    auto it = local_[h].find(cxl_page);
+    if (it == local_[h].end())
+        return false;
+    return (it->second.lineBitmap >> line_idx) & 1;
+}
+
+PhysAddr
+PipmState::localLineAddr(HostId h, PageFrame cxl_page,
+                         unsigned line_idx) const
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(), "localLineAddr: page ", cxl_page,
+             " has no local entry on host ", int(h));
+    return pageBase(it->second.localPfn) +
+           static_cast<PhysAddr>(line_idx) * lineBytes;
+}
+
+GlobalRemapEntry &
+PipmState::globalEntry(PageFrame cxl_page)
+{
+    return global_[cxl_page];
+}
+
+std::uint64_t
+PipmState::migratedPagesOn(HostId h) const
+{
+    return local_[h].size();
+}
+
+bool
+PipmState::voteUpdate(GlobalRemapEntry &g, HostId requester)
+{
+    // Boyer-Moore majority vote (§4.2): the counter rises only while one
+    // host out-accesses all others combined.
+    if (g.counter == 0) {
+        g.candHost = requester;
+        g.counter = 1;
+    } else if (g.candHost == requester) {
+        if (g.counter < counterMax_)
+            ++g.counter;
+    } else {
+        --g.counter;
+    }
+    return g.candHost == requester && g.counter >= cfg_.migrationThreshold;
+}
+
+bool
+PipmState::installLocalEntry(HostId h, PageFrame cxl_page)
+{
+    auto frame = space_.allocPipmFrame(h);
+    if (!frame) {
+        allocFailures.inc();
+        return false;
+    }
+    LocalRemapEntry entry;
+    entry.localPfn = *frame;
+    // §4.2: the local counter is initialised to the migration threshold.
+    entry.counter = static_cast<std::uint8_t>(
+        std::min<unsigned>(cfg_.migrationThreshold, localCounterMax_));
+    entry.lineBitmap = 0;
+    local_[h].emplace(cxl_page, entry);
+    promotions.inc();
+    return true;
+}
+
+void
+PipmState::setMigrationAllowed(PageFrame cxl_page, bool allowed)
+{
+    if (allowed)
+        migrationDisabled_.erase(cxl_page);
+    else
+        migrationDisabled_.insert(cxl_page);
+}
+
+bool
+PipmState::migrationAllowed(PageFrame cxl_page) const
+{
+    return !migrationDisabled_.contains(cxl_page);
+}
+
+VoteOutcome
+PipmState::deviceAccess(PageFrame cxl_page, HostId requester)
+{
+    VoteOutcome out;
+    if (!migrationAllowed(cxl_page))
+        return out;
+    GlobalRemapEntry &g = global_[cxl_page];
+
+    if (mode_ == PipmMode::staticMap) {
+        // HW-static: every page is permanently assigned to one host; the
+        // entry materialises on that host's first device-visible access.
+        const HostId target =
+            static_cast<HostId>(cxl_page % numHosts_);
+        if (g.curHost == invalidHost && requester == target) {
+            if (installLocalEntry(target, cxl_page)) {
+                g.curHost = target;
+                out.promoted = true;
+                out.promotedTo = target;
+            }
+        }
+        return out;
+    }
+
+    const bool fired = voteUpdate(g, requester);
+    if (fired && g.curHost == invalidHost) {
+        if (installLocalEntry(requester, cxl_page)) {
+            g.curHost = requester;
+            out.promoted = true;
+            out.promotedTo = requester;
+        }
+    }
+    return out;
+}
+
+void
+PipmState::localOwnerAccess(HostId h, PageFrame cxl_page)
+{
+    auto it = local_[h].find(cxl_page);
+    if (it == local_[h].end())
+        return;
+    if (it->second.counter < localCounterMax_)
+        ++it->second.counter;
+}
+
+InterHostOutcome
+PipmState::interHostAccess(HostId h, PageFrame cxl_page)
+{
+    InterHostOutcome out;
+    if (mode_ == PipmMode::staticMap)
+        return out;   // HW-static never revokes its static mapping
+    auto it = local_[h].find(cxl_page);
+    if (it == local_[h].end())
+        return out;
+    if (it->second.counter > 0)
+        --it->second.counter;
+    out.revoked = it->second.counter == 0;
+    return out;
+}
+
+void
+PipmState::setLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx)
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(), "setLineMigrated without local entry");
+    const std::uint64_t bit = 1ull << line_idx;
+    panic_if(it->second.lineBitmap & bit, "line ", line_idx, " of page ",
+             cxl_page, " already migrated");
+    it->second.lineBitmap |= bit;
+    ++linesOn_[h];
+    linesIn.inc();
+}
+
+void
+PipmState::clearLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx)
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(), "clearLineMigrated without local entry");
+    const std::uint64_t bit = 1ull << line_idx;
+    panic_if(!(it->second.lineBitmap & bit), "line ", line_idx, " of page ",
+             cxl_page, " is not migrated");
+    it->second.lineBitmap &= ~bit;
+    --linesOn_[h];
+    linesBack.inc();
+}
+
+std::uint64_t
+PipmState::revoke(HostId h, PageFrame cxl_page)
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(), "revoking page without local entry");
+    const std::uint64_t bitmap = it->second.lineBitmap;
+    linesOn_[h] -= static_cast<std::uint64_t>(std::popcount(bitmap));
+    linesBack.inc(static_cast<std::uint64_t>(std::popcount(bitmap)));
+    space_.freePipmFrame(h, it->second.localPfn);
+    local_[h].erase(it);
+
+    auto git = global_.find(cxl_page);
+    panic_if(git == global_.end(), "revoked page has no global entry");
+    git->second.curHost = invalidHost;
+    git->second.candHost = invalidHost;
+    git->second.counter = 0;
+    revocations.inc();
+    return bitmap;
+}
+
+} // namespace pipm

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Authoritative PIPM remapping state: the in-memory global remapping table
+ * on the CXL node, the per-host local remapping tables, and the
+ * majority-vote migration policy that drives them (§4.2).
+ *
+ * The global table records, per CXL-DSM page: the current host ID (where
+ * the page is partially migrated, if anywhere), the candidate host ID and
+ * the Boyer-Moore-style global counter. The local table of each host
+ * records, per page partially migrated to that host: the local page frame
+ * (allocated by the OS/hypervisor), the 4-bit local counter, and — in this
+ * simulator — the per-line migrated bitmap, which is the aggregate of the
+ * per-line in-memory bits of §4.3.2 (one 64-bit word per 4 KB page).
+ *
+ * The same class also implements the HW-static ablation (§5.1.3): the
+ * incremental-migration mechanism with a fixed page->host mapping instead
+ * of the adaptive vote.
+ */
+
+#ifndef PIPM_PIPM_STATE_HH
+#define PIPM_PIPM_STATE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+class AddressSpace;
+
+/** Entry of the global remapping table (2 bytes in hardware). */
+struct GlobalRemapEntry
+{
+    HostId curHost = invalidHost;    ///< 5-bit current host ID
+    HostId candHost = invalidHost;   ///< 5-bit candidate host ID
+    std::uint8_t counter = 0;        ///< 6-bit majority-vote counter
+};
+
+/** Entry of a host's local remapping table (4 bytes in hardware). */
+struct LocalRemapEntry
+{
+    PageFrame localPfn = 0;          ///< 28-bit local frame
+    std::uint8_t counter = 0;        ///< 4-bit local counter
+    std::uint64_t lineBitmap = 0;    ///< per-line in-memory bits (64 lines)
+};
+
+/** How partial-migration destinations are chosen. */
+enum class PipmMode : std::uint8_t
+{
+    vote,        ///< full PIPM: majority-vote promotion and revocation
+    staticMap    ///< HW-static ablation: fixed page % numHosts mapping
+};
+
+/** Outcome of feeding one device-visible access into the vote. */
+struct VoteOutcome
+{
+    bool promoted = false;           ///< a partial migration was initiated
+    HostId promotedTo = invalidHost;
+};
+
+/** Outcome of an inter-host access touching a migrated page. */
+struct InterHostOutcome
+{
+    bool revoked = false;            ///< local counter hit 0: revocation
+};
+
+/** The PIPM remapping state machine. */
+class PipmState
+{
+  public:
+    /**
+     * @param cfg PIPM parameters (thresholds, counter widths)
+     * @param num_hosts host count
+     * @param mode vote (PIPM) or staticMap (HW-static)
+     * @param space frame allocator for local migration frames
+     */
+    PipmState(const PipmConfig &cfg, unsigned num_hosts, PipmMode mode,
+              AddressSpace &space);
+
+    // ---- Queries ------------------------------------------------------
+
+    /** Host a page is partially migrated to, or invalidHost. */
+    HostId migratedHostOf(PageFrame cxl_page) const;
+
+    /** Whether a page has a local remapping entry on host h. */
+    bool hasLocalEntry(HostId h, PageFrame cxl_page) const;
+
+    /** Whether line `line_idx` of a page is migrated into host h (I'/ME). */
+    bool lineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx) const;
+
+    /** Local-DRAM address of a migrated line on host h. */
+    PhysAddr localLineAddr(HostId h, PageFrame cxl_page,
+                           unsigned line_idx) const;
+
+    /** The global entry for a page (creating a default if absent). */
+    GlobalRemapEntry &globalEntry(PageFrame cxl_page);
+
+    /** Count of lines currently migrated into host h. */
+    std::uint64_t migratedLinesOn(HostId h) const { return linesOn_[h]; }
+
+    /** Count of pages with a local entry on host h. */
+    std::uint64_t migratedPagesOn(HostId h) const;
+
+    // ---- Software interface (§6) ---------------------------------------
+
+    /**
+     * Enable or disable partial migration for one page. The paper's
+     * discussion (§6) proposes exposing exactly this to applications:
+     * pages whose semantics make migration useless (streaming-once
+     * buffers, deliberately replicated read-only data) can opt out. A
+     * disabled page is never promoted; if it is currently migrated the
+     * caller should revoke it first (the system layer does).
+     */
+    void setMigrationAllowed(PageFrame cxl_page, bool allowed);
+
+    /** Whether the vote may promote this page. */
+    bool migrationAllowed(PageFrame cxl_page) const;
+
+    // ---- Policy events ------------------------------------------------
+
+    /**
+     * A device-visible access (LLC miss reaching the CXL node) by
+     * `requester` to a page: update the majority vote and possibly
+     * initiate a partial migration (vote mode), or lazily instantiate the
+     * static mapping (staticMap mode).
+     */
+    VoteOutcome deviceAccess(PageFrame cxl_page, HostId requester);
+
+    /**
+     * A local LLC-miss access by the owning host to a page migrated to it
+     * (served from local memory): bump the local counter (§4.2 step 4).
+     */
+    void localOwnerAccess(HostId h, PageFrame cxl_page);
+
+    /**
+     * An inter-host access was forwarded to owning host h for a migrated
+     * line of this page: decrement the local counter; at zero, revoke
+     * (§4.2 steps 5-6). The caller must then call takeRevocation() to
+     * collect the lines to move back.
+     */
+    InterHostOutcome interHostAccess(HostId h, PageFrame cxl_page);
+
+    /** Mark a line migrated into h (incremental migration, case 1). */
+    void setLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx);
+
+    /** Clear a line's migrated bit (migrated back, cases 2/5/6). */
+    void clearLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx);
+
+    /**
+     * Remove the local entry of a revoked page and release its frame.
+     * @return bitmap of lines that must be written back to CXL memory
+     */
+    std::uint64_t revoke(HostId h, PageFrame cxl_page);
+
+    // ---- Stats ---------------------------------------------------------
+
+    StatGroup &stats() { return stats_; }
+
+    Counter promotions;
+    Counter revocations;
+    Counter linesIn;        ///< lines incrementally migrated to local DRAM
+    Counter linesBack;      ///< lines migrated back to CXL memory
+    Counter allocFailures;  ///< promotions skipped: no local frame free
+
+  private:
+    /** Majority-vote update; returns true when the threshold fires. */
+    bool voteUpdate(GlobalRemapEntry &g, HostId requester);
+
+    /** Create the local entry for a promotion; false if no frame free. */
+    bool installLocalEntry(HostId h, PageFrame cxl_page);
+
+    PipmConfig cfg_;
+    unsigned numHosts_;
+    PipmMode mode_;
+    AddressSpace &space_;
+    std::uint8_t counterMax_;       ///< 2^globalCounterBits - 1
+    std::uint8_t localCounterMax_;  ///< 2^localCounterBits - 1
+
+    std::unordered_map<PageFrame, GlobalRemapEntry> global_;
+    std::unordered_set<PageFrame> migrationDisabled_;
+    std::vector<std::unordered_map<PageFrame, LocalRemapEntry>> local_;
+    std::vector<std::uint64_t> linesOn_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_PIPM_STATE_HH

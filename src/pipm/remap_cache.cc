@@ -1,0 +1,51 @@
+#include "pipm/remap_cache.hh"
+
+namespace pipm
+{
+
+RemapCache::RemapCache(std::uint64_t size_bytes, unsigned entry_bytes,
+                       unsigned ways, Cycles round_trip, std::string name,
+                       bool infinite)
+    : infinite_(infinite),
+      roundTrip_(round_trip),
+      tags_(SetAssoc<Tag>::withCapacity(
+          size_bytes / entry_bytes > 0 ? size_bytes / entry_bytes : ways,
+          ways, ReplPolicy::lru)),
+      stats_(std::move(name))
+{
+    stats_.addCounter(&hits, "hits", "remap cache hits");
+    stats_.addCounter(&missCount, "misses",
+                      "remap cache misses (table walks)");
+}
+
+bool
+RemapCache::lookup(PageFrame page)
+{
+    if (infinite_) {
+        hits.inc();
+        return true;
+    }
+    if (tags_.lookup(page)) {
+        hits.inc();
+        return true;
+    }
+    missCount.inc();
+    return false;
+}
+
+void
+RemapCache::fill(PageFrame page)
+{
+    if (infinite_ || tags_.probe(page))
+        return;
+    tags_.insert(page, Tag{});
+}
+
+void
+RemapCache::invalidate(PageFrame page)
+{
+    if (!infinite_)
+        tags_.invalidate(page);
+}
+
+} // namespace pipm

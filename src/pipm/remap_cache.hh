@@ -1,0 +1,79 @@
+/**
+ * @file
+ * On-die remapping caches (§4.4, Table 2).
+ *
+ * The *local remapping cache* sits on each host's root complex and caches
+ * local remapping table entries; it is consulted on every LLC miss to a
+ * CXL-DSM address to resolve the full local coherence state (I vs I').
+ * The *global remapping cache* sits on the CXL device and caches global
+ * remapping table entries for the majority-vote policy and for routing
+ * inter-host accesses to migrated lines.
+ *
+ * Both are tag-latency models: the authoritative entry contents live in
+ * PipmState (the in-memory tables); the cache decides whether a lookup
+ * pays the on-die round trip or a table walk in DRAM. Negative results
+ * (page has no entry) are cached too, as a radix-table walk would produce
+ * and cache an empty leaf entry.
+ */
+
+#ifndef PIPM_PIPM_REMAP_CACHE_HH
+#define PIPM_PIPM_REMAP_CACHE_HH
+
+#include <cstdint>
+
+#include "cache/set_assoc.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** One remapping cache (local on a host RC, or global on the device). */
+class RemapCache
+{
+  public:
+    /**
+     * @param size_bytes on-die capacity
+     * @param entry_bytes bytes per remapping entry (2 global, 4 local)
+     * @param ways associativity
+     * @param round_trip hit latency
+     * @param name stat-group name
+     * @param infinite when set, every lookup hits (ideal-size baseline
+     *        for the Fig. 16/17 sweeps)
+     */
+    RemapCache(std::uint64_t size_bytes, unsigned entry_bytes, unsigned ways,
+               Cycles round_trip, std::string name, bool infinite = false);
+
+    /**
+     * Look up the entry for a page.
+     * @return true on hit. On miss the caller performs the table walk in
+     *         DRAM and then calls fill().
+     */
+    bool lookup(PageFrame page);
+
+    /** Install the entry for a page after a table walk. */
+    void fill(PageFrame page);
+
+    /** Drop a page's entry (table update must invalidate stale copies). */
+    void invalidate(PageFrame page);
+
+    Cycles roundTrip() const { return roundTrip_; }
+
+    StatGroup &stats() { return stats_; }
+
+    Counter hits;
+    Counter missCount;
+
+  private:
+    struct Tag {};
+
+    bool infinite_;
+    Cycles roundTrip_;
+    SetAssoc<Tag> tags_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_PIPM_REMAP_CACHE_HH

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * Trace-replay out-of-order core model.
+ *
+ * Models the parameters that matter for a memory-system study (Table 2:
+ * 6-wide, 224-entry ROB, 72-entry LQ, 56-entry SQ) without an execute
+ * pipeline: instructions dispatch at `width` per cycle; loads occupy
+ * load-queue slots until their data returns; the ROB bounds how far
+ * dispatch may run ahead of the oldest incomplete load; stores are posted
+ * through the store queue and only stall when it fills. The result is the
+ * standard limited-MLP trace-replay model: miss latency is overlapped up
+ * to the window limits and serialises beyond them.
+ */
+
+#ifndef PIPM_SIM_CORE_HH
+#define PIPM_SIM_CORE_HH
+
+#include <cstdint>
+#include <deque>
+
+#include "common/config.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** One simulated core advancing through its trace. */
+class OooCore
+{
+  public:
+    explicit OooCore(const CoreConfig &cfg) : cfg_(cfg) {}
+
+    /** Current dispatch time of the core. */
+    Cycles now() const { return cycle_; }
+
+    /** Instructions dispatched so far. */
+    std::uint64_t instructions() const { return instrCount_; }
+
+    /** Dispatch `n` non-memory instructions (width-limited). */
+    void
+    advanceGap(std::uint32_t n)
+    {
+        instrCount_ += n;
+        dispatchSlots_ += n;
+        cycle_ += dispatchSlots_ / cfg_.width;
+        dispatchSlots_ %= cfg_.width;
+    }
+
+    /**
+     * Dispatch a load whose memory latency is `latency` cycles from the
+     * core's current time. May advance time when the LQ or ROB is full.
+     */
+    void
+    issueLoad(Cycles latency)
+    {
+        drainCompleted();
+        // LQ full: wait for the oldest load to complete.
+        while (loads_.size() >= cfg_.loadQueue)
+            waitOldestLoad();
+        // ROB full: dispatch cannot run further ahead of the oldest
+        // incomplete load than the window allows.
+        while (!loads_.empty() &&
+               instrCount_ - loads_.front().instr >= cfg_.robEntries) {
+            waitOldestLoad();
+        }
+        // MSHRs bound the number of concurrent long-latency misses.
+        while (!misses_.empty() && misses_.front() <= cycle_)
+            misses_.pop_front();
+        while (misses_.size() >= cfg_.mshrs) {
+            if (misses_.front() > cycle_)
+                cycle_ = misses_.front();
+            misses_.pop_front();
+        }
+        loads_.push_back({cycle_ + latency, instrCount_});
+        if (latency > cfg_.mshrLatencyThreshold)
+            misses_.push_back(cycle_ + latency);
+        bumpInstr();
+    }
+
+    /**
+     * Dispatch a store; `accept_latency` is the time until the memory
+     * system has accepted it (ownership acquired). Stalls only when the
+     * store queue is full.
+     */
+    void
+    issueStore(Cycles accept_latency)
+    {
+        while (!stores_.empty() && stores_.front() <= cycle_)
+            stores_.pop_front();
+        while (stores_.size() >= cfg_.storeQueue) {
+            if (stores_.front() > cycle_)
+                cycle_ = stores_.front();
+            stores_.pop_front();
+        }
+        stores_.push_back(cycle_ + accept_latency);
+        bumpInstr();
+    }
+
+    /** Stall the core for `n` cycles (e.g. TLB-shootdown IPIs). */
+    void stall(Cycles n) { cycle_ += n; }
+
+    /** Wait for every outstanding access (end of measurement). */
+    void
+    drainAll()
+    {
+        while (!loads_.empty())
+            waitOldestLoad();
+        if (!stores_.empty() && stores_.back() > cycle_)
+            cycle_ = stores_.back();
+        stores_.clear();
+    }
+
+  private:
+    struct Load
+    {
+        Cycles completion;
+        std::uint64_t instr;
+    };
+
+    void
+    bumpInstr()
+    {
+        ++instrCount_;
+        if (++dispatchSlots_ >= cfg_.width) {
+            dispatchSlots_ = 0;
+            ++cycle_;
+        }
+    }
+
+    void
+    drainCompleted()
+    {
+        while (!loads_.empty() && loads_.front().completion <= cycle_)
+            loads_.pop_front();
+    }
+
+    void
+    waitOldestLoad()
+    {
+        if (loads_.front().completion > cycle_)
+            cycle_ = loads_.front().completion;
+        loads_.pop_front();
+        drainCompleted();
+    }
+
+    CoreConfig cfg_;
+    Cycles cycle_ = 0;
+    std::uint64_t instrCount_ = 0;
+    std::uint32_t dispatchSlots_ = 0;
+    std::deque<Load> loads_;
+    std::deque<Cycles> misses_;
+    std::deque<Cycles> stores_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_SIM_CORE_HH

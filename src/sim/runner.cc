@@ -1,0 +1,182 @@
+#include "sim/runner.hh"
+
+#include <memory>
+#include <vector>
+
+#include "common/logging.hh"
+#include "sim/core.hh"
+#include "sim/system.hh"
+
+namespace pipm
+{
+
+RunResult
+runExperiment(const SystemConfig &cfg, Scheme scheme,
+              const Workload &workload, const RunConfig &run)
+{
+    MultiHostSystem system(cfg, scheme, workload, run.seed);
+
+    struct CoreSlot
+    {
+        HostId host;
+        CoreId core;
+        OooCore model;
+        std::unique_ptr<CoreTrace> trace;
+        std::uint64_t refs = 0;
+        bool done = false;
+        Cycles measureStart = 0;
+        std::uint64_t measureStartInstr = 0;
+    };
+
+    std::vector<CoreSlot> cores;
+    cores.reserve(static_cast<std::size_t>(cfg.numHosts) *
+                  cfg.coresPerHost);
+    for (unsigned h = 0; h < cfg.numHosts; ++h) {
+        for (unsigned c = 0; c < cfg.coresPerHost; ++c) {
+            cores.push_back(CoreSlot{
+                static_cast<HostId>(h), static_cast<CoreId>(c),
+                OooCore(cfg.core),
+                workload.makeTrace(static_cast<HostId>(h),
+                                   static_cast<CoreId>(c),
+                                   cfg.coresPerHost, cfg.numHosts,
+                                   run.seed + 7919 * (h * 64 + c)),
+                0, false, 0, 0});
+        }
+    }
+
+    const std::uint64_t total_refs =
+        run.warmupRefsPerCore + run.measureRefsPerCore;
+
+    // Footprint sampling accumulators (Fig. 13).
+    double page_frac_sum = 0.0;
+    double line_frac_sum = 0.0;
+    std::uint64_t samples = 0;
+    std::uint64_t accesses_since_sample = 0;
+    const double total_pages =
+        static_cast<double>(system.space().sharedPages());
+
+    bool measuring = false;
+    std::uint64_t done_count = 0;
+
+    auto sample_footprint = [&]() {
+        double page_sum = 0.0;
+        double line_sum = 0.0;
+        for (unsigned h = 0; h < cfg.numHosts; ++h) {
+            page_sum += static_cast<double>(
+                system.space().migratedFramesOn(static_cast<HostId>(h)));
+            if (system.pipmState()) {
+                line_sum +=
+                    static_cast<double>(system.pipmState()->migratedLinesOn(
+                        static_cast<HostId>(h))) /
+                    linesPerPage;
+            }
+        }
+        const double hosts = static_cast<double>(cfg.numHosts);
+        page_frac_sum += page_sum / hosts / total_pages;
+        line_frac_sum += line_sum / hosts / total_pages;
+        ++samples;
+    };
+
+    while (done_count < cores.size()) {
+        // Advance the core with the smallest local clock.
+        CoreSlot *next = nullptr;
+        for (auto &slot : cores) {
+            if (slot.done)
+                continue;
+            if (!next || slot.model.now() < next->model.now())
+                next = &slot;
+        }
+        panic_if(!next, "no runnable core");
+
+        if (!measuring) {
+            // Warmup ends when every core has issued its warmup refs.
+            bool all_warm = true;
+            for (const auto &slot : cores) {
+                if (slot.refs < run.warmupRefsPerCore) {
+                    all_warm = false;
+                    break;
+                }
+            }
+            if (all_warm) {
+                measuring = true;
+                system.resetStats();
+                for (auto &slot : cores) {
+                    slot.measureStart = slot.model.now();
+                    slot.measureStartInstr = slot.model.instructions();
+                }
+            }
+        }
+
+        const MemRef ref = next->trace->next();
+        next->model.advanceGap(ref.gap);
+        system.tick(next->model.now());
+        const AccessResult res =
+            system.access(next->host, next->core, ref, next->model.now());
+        if (res.stall)
+            next->model.stall(res.stall);
+        if (ref.op == MemOp::read)
+            next->model.issueLoad(res.latency);
+        else
+            next->model.issueStore(res.latency);
+
+        ++next->refs;
+        if (next->refs >= total_refs) {
+            next->model.drainAll();
+            next->done = true;
+            ++done_count;
+        }
+
+        if (measuring && ++accesses_since_sample >=
+                             run.footprintSampleEvery) {
+            accesses_since_sample = 0;
+            sample_footprint();
+        }
+    }
+    if (samples == 0)
+        sample_footprint();
+    if (system.harmfulTracker())
+        system.harmfulTracker()->finish();
+
+    RunResult out;
+    out.workload = workload.name();
+    out.scheme = scheme;
+
+    Cycles exec = 0;
+    std::uint64_t instr = 0;
+    for (const auto &slot : cores) {
+        exec = std::max(exec, slot.model.now() - slot.measureStart);
+        instr += slot.model.instructions() - slot.measureStartInstr;
+    }
+    out.execCycles = exec;
+    out.instructions = instr;
+    out.ipc = exec ? static_cast<double>(instr) /
+                         static_cast<double>(exec) / cores.size()
+                   : 0.0;
+
+    out.sharedAccesses = system.sharedAccesses.value();
+    out.sharedLlcMisses = system.sharedLlcMisses.value();
+    out.localServedMisses = system.localServedMisses.value();
+    out.cxlServedMisses = system.cxlServedMisses.value();
+    out.interHostAccesses = system.interHostAccesses.value();
+    out.interHostStallCycles = system.interHostStallCycles.value();
+    out.mgmtStallCycles = system.mgmtStallCycles.value();
+    out.migrationTransferBytes = system.migrationTransferBytes.value();
+    out.osMigrations = system.osMigrations.value();
+    out.osDemotions = system.osDemotions.value();
+
+    if (PipmState *p = system.pipmState()) {
+        out.pipmPromotions = p->promotions.value();
+        out.pipmRevocations = p->revocations.value();
+        out.pipmLinesIn = p->linesIn.value();
+        out.pipmLinesBack = p->linesBack.value();
+    }
+    if (HarmfulTracker *t = system.harmfulTracker()) {
+        out.harmfulMigrations = t->harmfulMigrations();
+        out.totalTrackedMigrations = t->totalMigrations();
+    }
+    out.pageFootprintFrac = samples ? page_frac_sum / samples : 0.0;
+    out.lineFootprintFrac = samples ? line_frac_sum / samples : 0.0;
+    return out;
+}
+
+} // namespace pipm

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Experiment runner: executes one (workload, scheme, configuration)
+ * combination and reports the measurements every paper figure consumes.
+ *
+ * Simulation follows the paper's methodology (§5.1.2): traces are replayed
+ * through the core models after a warmup phase; measurement covers a fixed
+ * reference count per core. Cores advance in global time order (the core
+ * with the smallest local clock issues next), which keeps contention on
+ * the shared links, directory slices and DRAM banks causally ordered.
+ */
+
+#ifndef PIPM_SIM_RUNNER_HH
+#define PIPM_SIM_RUNNER_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/config.hh"
+#include "sim/scheme.hh"
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** How much to simulate. */
+struct RunConfig
+{
+    std::uint64_t warmupRefsPerCore = 50'000;
+    std::uint64_t measureRefsPerCore = 200'000;
+    std::uint64_t seed = 42;
+    /** Sample footprint ratios every this many measured accesses. */
+    std::uint64_t footprintSampleEvery = 50'000;
+};
+
+/** Everything a figure harness needs from one run. */
+struct RunResult
+{
+    std::string workload;
+    Scheme scheme = Scheme::native;
+
+    Cycles execCycles = 0;          ///< measured wall time (max over cores)
+    std::uint64_t instructions = 0; ///< retired in measurement
+    double ipc = 0.0;               ///< per-core IPC
+
+    std::uint64_t sharedAccesses = 0;
+    std::uint64_t sharedLlcMisses = 0;
+    std::uint64_t localServedMisses = 0;
+    std::uint64_t cxlServedMisses = 0;
+    std::uint64_t interHostAccesses = 0;
+    std::uint64_t interHostStallCycles = 0;
+    std::uint64_t mgmtStallCycles = 0;
+    std::uint64_t migrationTransferBytes = 0;
+    std::uint64_t osMigrations = 0;
+    std::uint64_t osDemotions = 0;
+
+    std::uint64_t pipmPromotions = 0;
+    std::uint64_t pipmRevocations = 0;
+    std::uint64_t pipmLinesIn = 0;
+    std::uint64_t pipmLinesBack = 0;
+
+    std::uint64_t harmfulMigrations = 0;
+    std::uint64_t totalTrackedMigrations = 0;
+
+    /** Fig. 13: mean per-host local footprint / total footprint. */
+    double pageFootprintFrac = 0.0;
+    /** Fig. 13 (PIPM-line): actually migrated lines / total footprint. */
+    double lineFootprintFrac = 0.0;
+
+    /** Fig. 11: shared LLC misses served from own local DRAM. */
+    double
+    localHitRate() const
+    {
+        return sharedLlcMisses
+                   ? static_cast<double>(localServedMisses) /
+                         static_cast<double>(sharedLlcMisses)
+                   : 0.0;
+    }
+
+    /** Fig. 5: fraction of migrations that hurt execution time. */
+    double
+    harmfulFraction() const
+    {
+        return totalTrackedMigrations
+                   ? static_cast<double>(harmfulMigrations) /
+                         static_cast<double>(totalTrackedMigrations)
+                   : 0.0;
+    }
+};
+
+/** Run one experiment. */
+RunResult runExperiment(const SystemConfig &cfg, Scheme scheme,
+                        const Workload &workload, const RunConfig &run);
+
+} // namespace pipm
+
+#endif // PIPM_SIM_RUNNER_HH

@@ -1,0 +1,1309 @@
+#include "sim/system.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "migration/hemem.hh"
+#include "migration/memtis.hh"
+#include "migration/nomad.hh"
+#include "migration/os_skew.hh"
+
+namespace pipm
+{
+
+namespace
+{
+
+/** Approximate serialisation cycles of a flit on a link. */
+Cycles
+flitCycles(const CxlLinkConfig &link, unsigned bytes)
+{
+    const double bytes_per_cycle = link.bytesPerNs / cyclesPerNs;
+    return std::max<Cycles>(
+        1, static_cast<Cycles>(static_cast<double>(bytes) / bytes_per_cycle));
+}
+
+/** Analytic DRAM access latency (row-miss, unloaded). */
+Cycles
+dramEstimate(const DramConfig &d)
+{
+    return nsToCycles(d.controllerNs + d.tRCDns + d.tCLns) +
+           static_cast<Cycles>(lineBytes / d.bytesPerCycle);
+}
+
+} // namespace
+
+LatencyEstimates
+LatencyEstimates::from(const SystemConfig &cfg)
+{
+    LatencyEstimates e;
+    const Cycles cache_path =
+        cfg.l1.roundTrip + cfg.llcPerCore.roundTrip +
+        cfg.localDirectory.roundTrip;
+    const Cycles hop = nsToCycles(cfg.link.latencyNs) +
+                       (cfg.link.hasSwitch ? nsToCycles(cfg.link.switchNs)
+                                           : 0);
+    e.local = cache_path + dramEstimate(cfg.localDram);
+    e.cxl = cache_path + hop + flitCycles(cfg.link, CxlFlits::header) +
+            cfg.deviceDirectory.roundTrip + dramEstimate(cfg.cxlDram) +
+            hop + flitCycles(cfg.link, CxlFlits::data);
+    e.gim = cache_path + 4 * hop + 2 * flitCycles(cfg.link, CxlFlits::header) +
+            2 * flitCycles(cfg.link, CxlFlits::data) +
+            cfg.llcPerCore.roundTrip + dramEstimate(cfg.localDram);
+    return e;
+}
+
+MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
+                                 const Workload &workload,
+                                 std::uint64_t seed)
+    : cfg_(cfg),
+      scheme_(scheme),
+      seed_(seed),
+      space_(std::make_unique<AddressSpace>(cfg, workload.sharedBytes(),
+                                            workload.privateBytesPerHost())),
+      deviceDir_(cfg.deviceDirectory),
+      cxlDram_(cfg.cxlDram, "cxl_dram"),
+      est_(LatencyEstimates::from(cfg)),
+      stats_("system")
+{
+    cfg_.validate();
+
+    if (cfg.link.hasSwitch) {
+        switch_ = std::make_unique<CxlSwitch>(cfg.link.switchBytesPerNs,
+                                              cfg.link.switchNs);
+    }
+    hosts_.resize(cfg.numHosts);
+    for (unsigned h = 0; h < cfg.numHosts; ++h) {
+        Host &host = hosts_[h];
+        host.caches =
+            std::make_unique<CacheHierarchy>(cfg, seed + 101 * (h + 1));
+        host.dram = std::make_unique<DramDevice>(cfg.localDram,
+                                                 "local_dram");
+        host.link = std::make_unique<CxlLink>(cfg.link, "link",
+                                              switch_.get());
+        host.pendingStall.assign(cfg.coresPerHost, 0);
+        if (cfg.tlb.enabled) {
+            TlbConfig tlb_cfg;
+            tlb_cfg.entries = cfg.tlb.entries;
+            tlb_cfg.ways = cfg.tlb.ways;
+            tlb_cfg.hitCycles = cfg.tlb.hitCycles;
+            tlb_cfg.walkCycles = cfg.tlb.walkCycles;
+            host.tlbs.reserve(cfg.coresPerHost);
+            for (unsigned c = 0; c < cfg.coresPerHost; ++c)
+                host.tlbs.emplace_back(tlb_cfg, seed + 31 * (h + c + 1));
+        }
+        if (usesPipmMechanism(scheme)) {
+            host.localRemap = std::make_unique<RemapCache>(
+                cfg.pipm.localCacheBytes, 4, cfg.pipm.localCacheWays,
+                cfg.pipm.localCacheRoundTrip, "local_remap",
+                cfg.pipm.infiniteLocalCache);
+        }
+    }
+
+    if (usesPipmMechanism(scheme)) {
+        globalRemap_ = std::make_unique<RemapCache>(
+            cfg.pipm.globalCacheBytes, 2, cfg.pipm.globalCacheWays,
+            cfg.pipm.globalCacheRoundTrip, "global_remap",
+            cfg.pipm.infiniteGlobalCache);
+        pipm_ = std::make_unique<PipmState>(
+            cfg.pipm, cfg.numHosts,
+            scheme == Scheme::hwStatic ? PipmMode::staticMap
+                                       : PipmMode::vote,
+            *space_);
+        naiveCoherence_ = scheme == Scheme::pipmNaive;
+    }
+
+    if (usesOsMigration(scheme)) {
+        const std::uint64_t pages = space_->sharedPages();
+        switch (scheme) {
+          case Scheme::nomad:
+            osPolicy_ = std::make_unique<NomadPolicy>(pages, cfg.numHosts);
+            break;
+          case Scheme::memtis:
+            osPolicy_ = std::make_unique<MemtisPolicy>(pages, cfg.numHosts);
+            break;
+          case Scheme::hemem:
+            osPolicy_ = std::make_unique<HememPolicy>(pages, cfg.numHosts);
+            break;
+          case Scheme::osSkew:
+            osPolicy_ = std::make_unique<OsSkewPolicy>(
+                pages, cfg.numHosts, cfg.osMigration.hotThreshold);
+            break;
+          default:
+            panic("unreachable OS scheme");
+        }
+        migratedTo_.assign(pages, invalidHost);
+        const Cycles mig_cost =
+            cfg.osPageInitiatorCycles() +
+            cfg.osPageOtherCycles() *
+                (cfg.numHosts * cfg.coresPerHost - 1);
+        harmful_ = std::make_unique<HarmfulTracker>(est_.local, est_.cxl,
+                                                    est_.gim, mig_cost);
+        nextEpoch_ = cfg.osEpochCycles();
+    }
+
+    stats_.addCounter(&demandAccesses, "demand_accesses",
+                      "all demand accesses");
+    stats_.addCounter(&sharedAccesses, "shared_accesses",
+                      "accesses to shared heap data");
+    stats_.addCounter(&sharedLlcMisses, "shared_llc_misses",
+                      "shared accesses missing the caches");
+    stats_.addCounter(&localServedMisses, "local_served_misses",
+                      "shared misses served by own local DRAM");
+    stats_.addCounter(&cxlServedMisses, "cxl_served_misses",
+                      "shared misses served by CXL memory");
+    stats_.addCounter(&interHostAccesses, "inter_host_accesses",
+                      "accesses served from another host");
+    stats_.addCounter(&interHostStallCycles, "inter_host_stall_cycles",
+                      "latency sum of inter-host accesses");
+    stats_.addCounter(&mgmtStallCycles, "mgmt_stall_cycles",
+                      "kernel migration stalls charged to cores");
+    stats_.addCounter(&migrationTransferBytes, "migration_transfer_bytes",
+                      "page-copy bytes moved by OS migration (unscaled)");
+    stats_.addCounter(&osMigrations, "os_migrations",
+                      "whole-page promotions executed");
+    stats_.addCounter(&osDemotions, "os_demotions",
+                      "whole-page demotions executed");
+    stats_.addCounter(&upgradeMisses, "upgrades", "S->M upgrades");
+    stats_.addAverage(&avgSharedMissLatency, "avg_shared_miss_latency",
+                      "mean latency of shared LLC misses");
+    stats_.addAverage(&avgLocalMissLatency, "avg_local_miss_latency",
+                      "mean latency of locally served shared misses");
+    stats_.addAverage(&avgCxlMissLatency, "avg_cxl_miss_latency",
+                      "mean latency of CXL-served shared misses");
+    stats_.addAverage(&avgInterHostLatency, "avg_inter_host_latency",
+                      "mean latency of inter-host accesses");
+}
+
+MultiHostSystem::~MultiHostSystem() = default;
+
+HostId
+MultiHostSystem::gimHostOf(std::uint64_t shared_idx) const
+{
+    return space_->sharedMapping(shared_idx).gimHost;
+}
+
+void
+MultiHostSystem::setPageMigrationAllowed(std::uint64_t shared_idx,
+                                         bool allowed)
+{
+    panic_if(!pipm_, "migration pinning requires a PIPM-mechanism scheme");
+    const PageFrame page =
+        pageOf(pageBase(space_->sharedMapping(shared_idx).cxlFrame));
+    pipm_->setMigrationAllowed(page, allowed);
+    if (!allowed && pipm_->migratedHostOf(page) != invalidHost)
+        performRevocation(pipm_->migratedHostOf(page), page, 0);
+}
+
+Cycles
+MultiHostSystem::takePendingStall(HostId h, CoreId c)
+{
+    Cycles &slot = hosts_[h].pendingStall[c];
+    const Cycles out = slot;
+    slot = 0;
+    return out;
+}
+
+AccessResult
+MultiHostSystem::access(HostId h, CoreId c, const MemRef &ref,
+                        Cycles now_in, std::uint64_t write_data)
+{
+    Cycles now = now_in;
+    panic_if(h >= cfg_.numHosts, "host id out of range");
+    demandAccesses.inc();
+    const Cycles stall = takePendingStall(h, c);
+    now += stall;
+    Cycles lat = 0;
+    std::uint64_t data = 0;
+
+    if (!hosts_[h].tlbs.empty()) {
+        // Virtual page namespace: shared pages first, then per-host
+        // private ranges (matches the trace generators' reference space).
+        const std::uint64_t vpage =
+            ref.shared ? ref.page
+                       : space_->sharedPages() +
+                             static_cast<std::uint64_t>(h) * (1ull << 20) +
+                             ref.page;
+        lat += hosts_[h].tlbs[c].translate(vpage);
+    }
+
+    if (!ref.shared) {
+        const PhysAddr pa = space_->privateAddr(
+            h, ref.page * pageBytes +
+                   static_cast<std::uint64_t>(ref.lineIdx) * lineBytes);
+        lat += localAccess(h, c, pa, ref.op, now, write_data, &data);
+        return {lat, stall, data};
+    }
+
+    sharedAccesses.inc();
+    const std::uint64_t idx = ref.page;
+    const SharedMapping &mapping = space_->sharedMapping(idx);
+    const PhysAddr pa =
+        pageBase(mapping.frame) +
+        static_cast<PhysAddr>(ref.lineIdx) * lineBytes;
+
+    if (scheme_ == Scheme::localOnly) {
+        lat += idealAccess(h, c, pa, ref.op, now, write_data, &data);
+        return {lat, stall, data};
+    }
+
+    if (mapping.gimHost == invalidHost) {
+        lat += cxlAccess(h, c, idx, pa, ref.op, now, write_data,
+                         &data);
+    } else if (mapping.gimHost == h) {
+        // OS-migrated page owned by this host: plain local access.
+        const auto before = hosts_[h].caches->misses.value();
+        lat += localAccess(h, c, pa, ref.op, now, write_data, &data);
+        if (hosts_[h].caches->misses.value() != before) {
+            sharedLlcMisses.inc();
+            localServedMisses.inc();
+            avgSharedMissLatency.sample(static_cast<double>(lat));
+            avgLocalMissLatency.sample(static_cast<double>(lat));
+            if (osPolicy_)
+                osPolicy_->recordAccess(idx, h);
+            if (harmful_)
+                harmful_->onLocalHit(idx);
+        }
+    } else {
+        // Fig. 3: non-cacheable 4-hop inter-host access.
+        sharedLlcMisses.inc();
+        const Cycles gl = gimRemoteAccess(h, mapping.gimHost, pa, ref.op,
+                                          now, write_data, &data);
+        lat += gl;
+        avgSharedMissLatency.sample(static_cast<double>(gl));
+        if (osPolicy_)
+            osPolicy_->recordAccess(idx, h);
+        if (harmful_)
+            harmful_->onRemoteAccess(idx);
+    }
+    return {lat, stall, data};
+}
+
+Cycles
+MultiHostSystem::localAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
+                             Cycles now, std::uint64_t wdata,
+                             std::uint64_t *rdata)
+{
+    CacheHierarchy &hier = *hosts_[h].caches;
+    const LineAddr line = lineOf(pa);
+    const auto r = hier.lookup(c, line);
+
+    if (r.level == HitLevel::l1) {
+        if (op == MemOp::write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = hier.dataOf(line);
+        return hier.l1RoundTrip();
+    }
+    if (r.level == HitLevel::llc) {
+        const Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip();
+        auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
+        handleEvictions(h, evs, now);
+        if (op == MemOp::write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = hier.dataOf(line);
+        return lat;
+    }
+
+    // Miss: local lines are host-exclusive (no cross-host coherence for
+    // local memory); fill in M.
+    Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip() +
+                 cfg_.localDirectory.roundTrip;
+    lat += hosts_[h].dram->access(pa - cfg_.localBase(h), now, false);
+    const std::uint64_t data = mem_.read(line);
+    auto evs = hier.fill(c, line, HostState::M, false, data);
+    handleEvictions(h, evs, now);
+    if (op == MemOp::write)
+        hier.recordWrite(c, line, wdata);
+    else
+        *rdata = data;
+    return lat;
+}
+
+Cycles
+MultiHostSystem::idealAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
+                             Cycles now, std::uint64_t wdata,
+                             std::uint64_t *rdata)
+{
+    // Upper-bound "Local-only": the shared line is served from this host's
+    // own DRAM with no coherence traffic. Cross-host data consistency is
+    // deliberately not modelled (it is an idealisation, §5.1.3).
+    CacheHierarchy &hier = *hosts_[h].caches;
+    const LineAddr line = lineOf(pa);
+    const auto r = hier.lookup(c, line);
+
+    if (r.level == HitLevel::l1) {
+        if (op == MemOp::write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = hier.dataOf(line);
+        return hier.l1RoundTrip();
+    }
+    if (r.level == HitLevel::llc) {
+        const Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip();
+        auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
+        handleEvictions(h, evs, now);
+        if (op == MemOp::write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = hier.dataOf(line);
+        return lat;
+    }
+
+    sharedLlcMisses.inc();
+    localServedMisses.inc();
+    Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip() +
+                 cfg_.localDirectory.roundTrip;
+    const PhysAddr device_addr =
+        (pa - cfg_.cxlBase()) % cfg_.localBytesPerHost();
+    lat += hosts_[h].dram->access(device_addr, now, false);
+    const std::uint64_t data = mem_.read(line);
+    auto evs = hier.fill(c, line, HostState::M, false, data);
+    handleEvictions(h, evs, now);
+    if (op == MemOp::write)
+        hier.recordWrite(c, line, wdata);
+    else
+        *rdata = data;
+    avgSharedMissLatency.sample(static_cast<double>(lat));
+    avgLocalMissLatency.sample(static_cast<double>(lat));
+    return lat;
+}
+
+Cycles
+MultiHostSystem::gimRemoteAccess(HostId h, HostId owner, PhysAddr pa,
+                                 MemOp op, Cycles now, std::uint64_t wdata,
+                                 std::uint64_t *rdata)
+{
+    const LineAddr line = lineOf(pa);
+    const bool is_write = op == MemOp::write;
+
+    // Hop 1: requester -> CXL root complex at the memory node.
+    Cycles lat = hosts_[h].link->transfer(
+        LinkDir::toDevice, is_write ? CxlFlits::data : CxlFlits::header,
+        now);
+    // Hop 2: memory node -> owning host.
+    lat += hosts_[owner].link->transfer(
+        LinkDir::toHost, is_write ? CxlFlits::data : CxlFlits::header,
+        now);
+
+    // At the owner: local coherence directory resolves cache vs memory.
+    CacheHierarchy &ohier = *hosts_[owner].caches;
+    lat += cfg_.localDirectory.roundTrip;
+    if (ohier.stateOf(line) != HostState::I) {
+        lat += ohier.llcRoundTrip();
+        if (is_write)
+            ohier.recordWrite(0, line, wdata);
+        else
+            *rdata = ohier.dataOf(line);
+    } else {
+        lat += hosts_[owner].dram->access(pa - cfg_.localBase(owner),
+                                          now, is_write);
+        if (is_write)
+            mem_.write(line, wdata);
+        else
+            *rdata = mem_.read(line);
+    }
+
+    // Hops 3 and 4: owner -> memory node -> requester.
+    lat += hosts_[owner].link->transfer(
+        LinkDir::toDevice, is_write ? CxlFlits::header : CxlFlits::data,
+        now);
+    lat += hosts_[h].link->transfer(
+        LinkDir::toHost, is_write ? CxlFlits::header : CxlFlits::data,
+        now);
+
+    interHostAccesses.inc();
+    interHostStallCycles.inc(lat);
+    avgInterHostLatency.sample(static_cast<double>(lat));
+    return lat;
+}
+
+Cycles
+MultiHostSystem::localRemapLookup(HostId h, PageFrame page, Cycles now)
+{
+    RemapCache &rc = *hosts_[h].localRemap;
+    Cycles lat = rc.roundTrip();
+    if (!rc.lookup(page)) {
+        // Two-level radix walk in local DRAM: one access when the root
+        // entry is empty, two when a leaf must be read.
+        const unsigned walks =
+            pipm_->hasLocalEntry(h, page) ? cfg_.pipm.tableLevels : 1;
+        for (unsigned i = 0; i < walks; ++i) {
+            // Table pages live in local DRAM; hash the page to spread
+            // walk traffic over banks.
+            const PhysAddr walk_addr =
+                (page * 0x9e3779b97f4a7c15ull) %
+                cfg_.localBytesPerHost();
+            lat += hosts_[h].dram->access(walk_addr, now, false);
+        }
+        rc.fill(page);
+    }
+    return lat;
+}
+
+Cycles
+MultiHostSystem::globalRemapLookup(PageFrame page, Cycles now)
+{
+    RemapCache &rc = *globalRemap_;
+    Cycles lat = rc.roundTrip();
+    if (!rc.lookup(page)) {
+        const PhysAddr walk_addr =
+            (page * 0x9e3779b97f4a7c15ull) % cfg_.cxlPoolBytes();
+        lat += cxlDram_.access(walk_addr, now, false);
+        rc.fill(page);
+    }
+    return lat;
+}
+
+Cycles
+MultiHostSystem::upgrade(HostId h, LineAddr line, Cycles now)
+{
+    upgradeMisses.inc();
+    Cycles lat = hosts_[h].link->transfer(LinkDir::toDevice,
+                                          CxlFlits::header, now);
+    lat += deviceDir_.accessLatency(line, now);
+    DirEntry *entry = deviceDir_.lookup(line);
+    panic_if(!entry, "upgrade: no directory entry for cached S line ",
+             line);
+    panic_if(!entry->has(h), "upgrade: host not recorded as sharer");
+
+    // Invalidate the other sharers in parallel; the latency is the
+    // slowest round trip among them.
+    Cycles inv_max = 0;
+    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+        const auto sh = static_cast<HostId>(s);
+        if (sh == h || !entry->has(sh))
+            continue;
+        Cycles rt = hosts_[sh].link->transfer(LinkDir::toHost,
+                                              CxlFlits::header, now);
+        rt += hosts_[sh].caches->llcRoundTrip();
+        hosts_[sh].caches->invalidateLine(line);   // S copies are clean
+        rt += hosts_[sh].link->transfer(LinkDir::toDevice,
+                                        CxlFlits::header, now + rt);
+        inv_max = std::max(inv_max, rt);
+    }
+    lat += inv_max;
+    entry->state = DevState::M;
+    entry->sharers = 1u << h;
+    lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::header,
+                                    now);
+    return lat;
+}
+
+void
+MultiHostSystem::dirAllocate(LineAddr line, DirEntry entry, Cycles now)
+{
+    auto recall = deviceDir_.allocate(line, entry);
+    if (recall)
+        handleRecall(*recall, now);
+}
+
+void
+MultiHostSystem::handleRecall(const DeviceDirectory::Recall &recall,
+                              Cycles now)
+{
+    // Invalidate the victim line at every sharer; dirty data is written
+    // back to CXL memory. All of this is off the demand critical path.
+    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+        const auto sh = static_cast<HostId>(s);
+        if (!recall.entry.has(sh))
+            continue;
+        hosts_[sh].link->transfer(LinkDir::toHost, CxlFlits::header, now);
+        auto ev = hosts_[sh].caches->invalidateLine(recall.line);
+        if (ev && ev->dirty) {
+            mem_.write(recall.line, ev->data);
+            hosts_[sh].link->transfer(LinkDir::toDevice, CxlFlits::data,
+                                      now);
+            cxlDram_.access(lineBase(recall.line) - cfg_.cxlBase(), now,
+                            true);
+        } else {
+            hosts_[sh].link->transfer(LinkDir::toDevice, CxlFlits::header,
+                                      now);
+        }
+    }
+}
+
+Cycles
+MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
+                           PhysAddr pa, MemOp op, Cycles now,
+                           std::uint64_t wdata, std::uint64_t *rdata)
+{
+    CacheHierarchy &hier = *hosts_[h].caches;
+    const LineAddr line = lineOf(pa);
+    const PageFrame page = pageOf(pa);
+    const unsigned li = lineInPage(pa);
+    const bool is_write = op == MemOp::write;
+
+    // ---- Cache hits ----------------------------------------------------
+    const auto r = hier.lookup(c, line);
+    if (r.level != HitLevel::miss) {
+        Cycles lat = hier.l1RoundTrip();
+        if (r.level == HitLevel::llc) {
+            lat += hier.llcRoundTrip();
+            auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
+            handleEvictions(h, evs, now);
+        }
+        if (!is_write) {
+            *rdata = hier.dataOf(line);
+            return lat;
+        }
+        if (r.state == HostState::S) {
+            lat += upgrade(h, line, now);
+            hier.setState(line, HostState::M);
+        }
+        hier.recordWrite(c, line, wdata);
+        return lat;
+    }
+
+    // ---- LLC miss --------------------------------------------------------
+    sharedLlcMisses.inc();
+    if (osPolicy_)
+        osPolicy_->recordAccess(shared_idx, h);
+
+    Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip() +
+                 cfg_.localDirectory.roundTrip;
+
+    if (pipm_) {
+        // §4.3.3: every LLC miss to CXL-DSM resolves the full local
+        // coherence state (I vs I') through the local remapping table.
+        lat += localRemapLookup(h, page, now);
+
+        if (!naiveCoherence_ && pipm_->lineMigrated(h, page, li)) {
+            // Case 3: I' -> ME. Served entirely from local DRAM. (The
+            // naive §4.3.1 design cannot short-circuit here: it must
+            // consult the device directory first — Fig. 8 — so it falls
+            // through to the device flow below.)
+            const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
+            lat += hosts_[h].dram->access(lpa - cfg_.localBase(h),
+                                          now, false);
+            const std::uint64_t data = mem_.read(lineOf(lpa));
+            pipm_->localOwnerAccess(h, page);
+            auto evs = hier.fill(c, line, HostState::ME, false, data);
+            handleEvictions(h, evs, now);
+            if (is_write)
+                hier.recordWrite(c, line, wdata);
+            else
+                *rdata = data;
+            localServedMisses.inc();
+            avgSharedMissLatency.sample(static_cast<double>(lat));
+            avgLocalMissLatency.sample(static_cast<double>(lat));
+            return lat;
+        }
+        if (pipm_->hasLocalEntry(h, page)) {
+            // Local access to a not-yet-migrated line of an owned page
+            // still counts toward the local counter (§4.2 step 4).
+            pipm_->localOwnerAccess(h, page);
+        }
+    }
+
+    // ---- To the device ----------------------------------------------------
+    lat += hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::header,
+                                    now);
+    lat += deviceDir_.accessLatency(line, now);
+
+    if (pipm_) {
+        // Majority vote: device-visible accesses update the global
+        // remapping entry. The update itself is off the critical path
+        // (the global table is only *waited on* when forwarding).
+        const VoteOutcome vote = pipm_->deviceAccess(page, h);
+        if (vote.promoted && hosts_[vote.promotedTo].localRemap)
+            hosts_[vote.promotedTo].localRemap->invalidate(page);
+    }
+
+    DirEntry *entry = deviceDir_.lookup(line);
+
+    if (entry && entry->state == DevState::M) {
+        // Another host owns the latest copy: forward (Fig. 2 steps 3-5).
+        const HostId owner = entry->owner();
+        panic_if(owner == h, "directory owner is the requester itself");
+        CacheHierarchy &ohier = *hosts_[owner].caches;
+        panic_if(ohier.stateOf(line) != HostState::M,
+                 "directory M but owner does not cache line in M");
+
+        lat += hosts_[owner].link->transfer(LinkDir::toHost,
+                                            CxlFlits::header, now);
+        lat += cfg_.localDirectory.roundTrip + ohier.llcRoundTrip();
+        const std::uint64_t data = ohier.dataOf(line);
+        if (is_write) {
+            ohier.invalidateLine(line);
+            entry->state = DevState::M;
+            entry->sharers = 1u << h;
+        } else {
+            ohier.setState(line, HostState::S);
+            ohier.markClean(line);
+            // The downgrade writes the latest data back to memory — the
+            // line's local frame when the naive in-memory bit is set,
+            // CXL memory otherwise.
+            const HostId bit_host =
+                naiveCoherence_ ? pipm_->migratedHostOf(page) : invalidHost;
+            if (bit_host != invalidHost &&
+                pipm_->lineMigrated(bit_host, page, li)) {
+                const PhysAddr lpa =
+                    pipm_->localLineAddr(bit_host, page, li);
+                mem_.write(lineOf(lpa), data);
+                hosts_[bit_host].dram->access(
+                    lpa - cfg_.localBase(bit_host), now, true);
+            } else {
+                mem_.write(line, data);
+                cxlDram_.access(pa - cfg_.cxlBase(), now, true);
+            }
+            entry->state = DevState::S;
+            entry->sharers |= 1u << h;
+        }
+        lat += hosts_[owner].link->transfer(LinkDir::toDevice,
+                                            CxlFlits::data, now);
+        lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
+                                        now);
+
+        auto evs = hier.fill(c, line,
+                             is_write ? HostState::M : HostState::S,
+                             is_write, data);
+        handleEvictions(h, evs, now);
+        if (is_write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = data;
+
+        interHostAccesses.inc();
+        interHostStallCycles.inc(lat);
+        avgInterHostLatency.sample(static_cast<double>(lat));
+        avgSharedMissLatency.sample(static_cast<double>(lat));
+        return lat;
+    }
+
+    if (entry && entry->state == DevState::S) {
+        if (!is_write) {
+            lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+            std::uint64_t data;
+            const HostId bit_host =
+                naiveCoherence_ ? pipm_->migratedHostOf(page) : invalidHost;
+            if (bit_host != invalidHost &&
+                pipm_->lineMigrated(bit_host, page, li)) {
+                // Naive redirect: the bit says the memory copy lives in
+                // bit_host's local DRAM (extra hops, Fig. 8).
+                lat += hosts_[bit_host].link->transfer(
+                    LinkDir::toHost, CxlFlits::header, now);
+                lat += hosts_[bit_host].dram->access(
+                    pipm_->localLineAddr(bit_host, page, li) -
+                        cfg_.localBase(bit_host),
+                    now, false);
+                lat += hosts_[bit_host].link->transfer(
+                    LinkDir::toDevice, CxlFlits::data, now);
+                data = mem_.read(
+                    lineOf(pipm_->localLineAddr(bit_host, page, li)));
+            } else {
+                data = mem_.read(line);
+            }
+            entry->add(h);
+            lat += hosts_[h].link->transfer(LinkDir::toHost,
+                                            CxlFlits::data, now);
+            auto evs = hier.fill(c, line, HostState::S, false, data);
+            handleEvictions(h, evs, now);
+            *rdata = data;
+            cxlServedMisses.inc();
+            avgSharedMissLatency.sample(static_cast<double>(lat));
+            avgCxlMissLatency.sample(static_cast<double>(lat));
+            return lat;
+        }
+        // Write miss on a shared line: invalidate every sharer.
+        Cycles inv_max = 0;
+        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+            const auto sh = static_cast<HostId>(s);
+            if (sh == h || !entry->has(sh))
+                continue;
+            Cycles rt = hosts_[sh].link->transfer(
+                LinkDir::toHost, CxlFlits::header, now);
+            rt += hosts_[sh].caches->llcRoundTrip();
+            hosts_[sh].caches->invalidateLine(line);
+            rt += hosts_[sh].link->transfer(LinkDir::toDevice,
+                                            CxlFlits::header,
+                                            now + rt);
+            inv_max = std::max(inv_max, rt);
+        }
+        lat += inv_max;
+        lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+        std::uint64_t data;
+        const HostId wbit_host =
+            naiveCoherence_ ? pipm_->migratedHostOf(page) : invalidHost;
+        if (wbit_host != invalidHost &&
+            pipm_->lineMigrated(wbit_host, page, li)) {
+            // Naive redirect: the memory copy lives in the owner's
+            // local frame.
+            lat += hosts_[wbit_host].link->transfer(
+                LinkDir::toHost, CxlFlits::header, now);
+            const PhysAddr lpa =
+                pipm_->localLineAddr(wbit_host, page, li);
+            lat += hosts_[wbit_host].dram->access(
+                lpa - cfg_.localBase(wbit_host), now, false);
+            lat += hosts_[wbit_host].link->transfer(
+                LinkDir::toDevice, CxlFlits::data, now);
+            data = mem_.read(lineOf(lpa));
+        } else {
+            data = mem_.read(line);
+        }
+        entry->state = DevState::M;
+        entry->sharers = 1u << h;
+        lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
+                                        now);
+        auto evs = hier.fill(c, line, HostState::M, true, data);
+        handleEvictions(h, evs, now);
+        hier.recordWrite(c, line, wdata);
+        cxlServedMisses.inc();
+        avgSharedMissLatency.sample(static_cast<double>(lat));
+        avgCxlMissLatency.sample(static_cast<double>(lat));
+        return lat;
+    }
+
+    // ---- Device state I ---------------------------------------------------
+    const HostId mh = pipm_ ? pipm_->migratedHostOf(page) : invalidHost;
+    if (naiveCoherence_ && mh != invalidHost &&
+        pipm_->lineMigrated(mh, page, li)) {
+        // Naive coherence (Fig. 8): the directory yielded nothing, so
+        // the device examines the in-memory bit (a CXL memory read) and
+        // redirects the request to the bit owner's local DRAM. The bit
+        // stays set — no incremental migration exists in this design —
+        // and even the owner itself pays the full device round trip,
+        // which is precisely the inefficiency §4.3.1 identifies.
+        lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+        const PhysAddr lpa = pipm_->localLineAddr(mh, page, li);
+        std::uint64_t data;
+        if (mh == h) {
+            // Redirect back to the requester's own local memory.
+            lat += hosts_[h].link->transfer(LinkDir::toHost,
+                                            CxlFlits::header, now);
+            lat += hosts_[h].dram->access(lpa - cfg_.localBase(h), now,
+                                          false);
+            data = mem_.read(lineOf(lpa));
+            pipm_->localOwnerAccess(h, page);
+            localServedMisses.inc();
+        } else {
+            lat += globalRemapLookup(page, now);
+            lat += hosts_[mh].link->transfer(LinkDir::toHost,
+                                             CxlFlits::header, now);
+            lat += hosts_[mh].dram->access(lpa - cfg_.localBase(mh),
+                                           now, !is_write);
+            data = is_write ? wdata : mem_.read(lineOf(lpa));
+            lat += hosts_[mh].link->transfer(LinkDir::toDevice,
+                                             CxlFlits::data, now);
+            lat += hosts_[h].link->transfer(LinkDir::toHost,
+                                            CxlFlits::data, now);
+            interHostAccesses.inc();
+            interHostStallCycles.inc(lat);
+            avgInterHostLatency.sample(static_cast<double>(lat));
+        }
+        const InterHostOutcome ih =
+            mh == h ? InterHostOutcome{}
+                    : pipm_->interHostAccess(mh, page);
+        DirEntry ne;
+        ne.state = DevState::M;
+        ne.sharers = 1u << h;
+        dirAllocate(line, ne, now);
+        auto evs = hier.fill(c, line, HostState::M, is_write, data);
+        handleEvictions(h, evs, now);
+        if (is_write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = data;
+        if (ih.revoked)
+            performRevocation(mh, page, now);
+        avgSharedMissLatency.sample(static_cast<double>(lat));
+        if (mh == h)
+            avgLocalMissLatency.sample(static_cast<double>(lat));
+        return lat;
+    }
+    if (pipm_ && !naiveCoherence_ && mh != invalidHost && mh != h &&
+        pipm_->lineMigrated(mh, page, li)) {
+        // Cases 2/5/6: inter-host access to a line migrated into host mh.
+        lat += globalRemapLookup(page, now);
+        // The device reads CXL memory to verify the I' in-memory bit.
+        lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+        lat += hosts_[mh].link->transfer(LinkDir::toHost, CxlFlits::header,
+                                         now);
+
+        CacheHierarchy &ohier = *hosts_[mh].caches;
+        lat += cfg_.localDirectory.roundTrip;
+        std::uint64_t data;
+        const HostState owner_state = ohier.stateOf(line);
+        bool owner_keeps_s = false;
+        if (owner_state == HostState::ME) {
+            // Cases 5 (write) and 6 (read).
+            lat += ohier.llcRoundTrip();
+            data = ohier.dataOf(line);
+            if (is_write) {
+                ohier.invalidateLine(line);
+            } else {
+                ohier.setState(line, HostState::S);
+                ohier.markClean(line);
+                owner_keeps_s = true;
+            }
+        } else {
+            // Case 2: I' uncached; read the owner's local DRAM copy.
+            panic_if(owner_state != HostState::I,
+                     "migrated line cached in unexpected state ",
+                     toString(owner_state));
+            const PhysAddr lpa = pipm_->localLineAddr(mh, page, li);
+            lat += hosts_[mh].dram->access(lpa - cfg_.localBase(mh),
+                                           now, false);
+            data = mem_.read(lineOf(lpa));
+        }
+
+        // Migrate the line back: clear both in-memory bits and write the
+        // data to its CXL home (asynchronous writeback).
+        pipm_->clearLineMigrated(mh, page, li);
+        mem_.write(line, data);
+        cxlDram_.access(pa - cfg_.cxlBase(), now, true);
+
+        lat += hosts_[mh].link->transfer(LinkDir::toDevice, CxlFlits::data,
+                                         now);
+
+        // Local-counter decrement; revoke the whole page at zero.
+        const InterHostOutcome ih = pipm_->interHostAccess(mh, page);
+
+        DirEntry ne;
+        if (is_write) {
+            ne.state = DevState::M;
+            ne.sharers = 1u << h;
+        } else {
+            ne.state = owner_keeps_s ? DevState::S : DevState::M;
+            ne.sharers = 1u << h;
+            if (owner_keeps_s)
+                ne.sharers |= 1u << mh;
+        }
+        dirAllocate(line, ne, now);
+
+        lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
+                                        now);
+        const HostState fill_state =
+            is_write ? HostState::M
+                     : (owner_keeps_s ? HostState::S : HostState::M);
+        auto evs = hier.fill(c, line, fill_state, is_write, data);
+        handleEvictions(h, evs, now);
+        if (is_write)
+            hier.recordWrite(c, line, wdata);
+        else
+            *rdata = data;
+
+        if (ih.revoked)
+            performRevocation(mh, page, now);
+
+        interHostAccesses.inc();
+        interHostStallCycles.inc(lat);
+        avgInterHostLatency.sample(static_cast<double>(lat));
+        avgSharedMissLatency.sample(static_cast<double>(lat));
+        return lat;
+    }
+
+    // Plain CXL memory access (Fig. 2 step 7). The PIPM in-memory bit
+    // travels with the data, costing nothing extra.
+    lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+    const std::uint64_t data = mem_.read(line);
+    lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
+                                    now);
+    // MESI-style exclusive grant: no other sharer, so the line fills
+    // writable (M, possibly clean) — this is what makes read-mostly lines
+    // eligible for incremental migration on eviction (case 1).
+    DirEntry ne;
+    ne.state = DevState::M;
+    ne.sharers = 1u << h;
+    dirAllocate(line, ne, now);
+    auto evs = hier.fill(c, line, HostState::M, is_write, data);
+    handleEvictions(h, evs, now);
+    if (is_write)
+        hier.recordWrite(c, line, wdata);
+    else
+        *rdata = data;
+    cxlServedMisses.inc();
+    avgSharedMissLatency.sample(static_cast<double>(lat));
+    avgCxlMissLatency.sample(static_cast<double>(lat));
+    return lat;
+}
+
+void
+MultiHostSystem::performRevocation(HostId owner, PageFrame page, Cycles now)
+{
+    // Collect the local frame before the entry disappears.
+    panic_if(!pipm_->hasLocalEntry(owner, page),
+             "revocation of page without local entry");
+    CacheHierarchy &ohier = *hosts_[owner].caches;
+
+    // First pull any ME-cached lines of the page back through the cache.
+    // Under naive coherence cached copies are ordinary M/S lines tracked
+    // by the directory; the local frame is the memory copy, so only it
+    // moves (a dirty cached copy will write back through the normal,
+    // now-unredirected path later).
+    const PhysAddr base = pageBase(page);
+    for (unsigned li = 0; li < linesPerPage; ++li) {
+        if (!pipm_->lineMigrated(owner, page, li))
+            continue;
+        const LineAddr line = lineOf(base + li * lineBytes);
+        std::uint64_t data;
+        if (!naiveCoherence_) {
+            auto ev = ohier.invalidateLine(line);
+            if (ev) {
+                data = ev->data;
+            } else {
+                const PhysAddr lpa =
+                    pipm_->localLineAddr(owner, page, li);
+                hosts_[owner].dram->access(lpa - cfg_.localBase(owner),
+                                           now, false);
+                data = mem_.read(lineOf(lpa));
+            }
+        } else {
+            const PhysAddr lpa = pipm_->localLineAddr(owner, page, li);
+            hosts_[owner].dram->access(lpa - cfg_.localBase(owner), now,
+                                       false);
+            data = mem_.read(lineOf(lpa));
+        }
+        mem_.write(line, data);
+        hosts_[owner].link->transfer(LinkDir::toDevice, CxlFlits::data,
+                                     now);
+        cxlDram_.access(lineBase(line) - cfg_.cxlBase(), now, true);
+    }
+    pipm_->revoke(owner, page);
+    if (hosts_[owner].localRemap)
+        hosts_[owner].localRemap->invalidate(page);
+    if (globalRemap_)
+        globalRemap_->invalidate(page);
+}
+
+void
+MultiHostSystem::handleEviction(HostId h,
+                                const CacheHierarchy::Eviction &ev,
+                                Cycles now)
+{
+    {
+        const PhysAddr pa = lineBase(ev.line);
+
+        if (scheme_ == Scheme::localOnly) {
+            if (ev.dirty) {
+                mem_.write(ev.line, ev.data);
+                const PhysAddr device_addr =
+                    cfg_.regionOf(pa) == AddrRegion::cxlPool
+                        ? (pa - cfg_.cxlBase()) % cfg_.localBytesPerHost()
+                        : pa - cfg_.localBase(h);
+                hosts_[h].dram->access(device_addr, now, true);
+            }
+            return;
+        }
+
+        if (cfg_.regionOf(pa) == AddrRegion::hostLocal) {
+            // Private data or a GIM page owned by this host.
+            if (ev.dirty) {
+                mem_.write(ev.line, ev.data);
+                hosts_[h].dram->access(pa - cfg_.localBase(h), now, true);
+            }
+            return;
+        }
+
+        // CXL-DSM line.
+        const PageFrame page = pageOf(pa);
+        const unsigned li = lineInPage(pa);
+
+        if (ev.state == HostState::ME) {
+            // Case 4: ME -> I'. Only a local writeback if dirty; no
+            // device traffic at all.
+            if (ev.dirty) {
+                const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
+                mem_.write(lineOf(lpa), ev.data);
+                hosts_[h].dram->access(lpa - cfg_.localBase(h), now, true);
+            }
+            return;
+        }
+
+        const HostId naive_owner =
+            naiveCoherence_ ? pipm_->migratedHostOf(page) : invalidHost;
+        if (naiveCoherence_ && ev.state == HostState::M &&
+            naive_owner != invalidHost &&
+            pipm_->lineMigrated(naive_owner, page, li)) {
+            // Naive coherence: the in-memory bit stays set, so the
+            // writeback is redirected to the line's local frame at the
+            // page's owner (possibly across the fabric).
+            if (ev.dirty) {
+                const PhysAddr lpa =
+                    pipm_->localLineAddr(naive_owner, page, li);
+                mem_.write(lineOf(lpa), ev.data);
+                hosts_[h].link->transfer(LinkDir::toDevice,
+                                         CxlFlits::data, now);
+                if (naive_owner != h) {
+                    hosts_[naive_owner].link->transfer(
+                        LinkDir::toHost, CxlFlits::data, now);
+                }
+                hosts_[naive_owner].dram->access(
+                    lpa - cfg_.localBase(naive_owner), now, true);
+            } else {
+                hosts_[h].link->transfer(LinkDir::toDevice,
+                                         CxlFlits::header, now);
+            }
+            if (DirEntry *entry = deviceDir_.lookup(ev.line)) {
+                entry->remove(h);
+                if (entry->sharers == 0)
+                    deviceDir_.deallocate(ev.line);
+            }
+            return;
+        }
+
+        if (pipm_ && ev.state == HostState::M &&
+            pipm_->migratedHostOf(page) == h &&
+            !pipm_->lineMigrated(h, page, li)) {
+            // Case 1: incremental migration on local writeback. The data
+            // is written to the page's local frame instead of CXL memory;
+            // both in-memory bits flip and the device directory entry is
+            // released.
+            pipm_->setLineMigrated(h, page, li);
+            const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
+            mem_.write(lineOf(lpa), ev.data);
+            hosts_[h].dram->access(lpa - cfg_.localBase(h), now, true);
+            // The directory-release message doubles as the bit-flip
+            // notification; the CXL-side in-memory bit lives in ECC spare
+            // bits and is folded into the device's metadata handling
+            // (§4.3.1 footnote) — no data transfer, per §4.1.
+            hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::header,
+                                     now);
+            deviceDir_.deallocate(ev.line);
+            return;
+        }
+
+        // Normal eviction: dirty data (M) goes back to CXL memory; clean
+        // lines just notify the directory.
+        if (ev.state == HostState::M && ev.dirty) {
+            mem_.write(ev.line, ev.data);
+            hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::data,
+                                     now);
+            cxlDram_.access(pa - cfg_.cxlBase(), now, true);
+        } else {
+            hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::header,
+                                     now);
+        }
+        if (DirEntry *entry = deviceDir_.lookup(ev.line)) {
+            entry->remove(h);
+            if (entry->sharers == 0)
+                deviceDir_.deallocate(ev.line);
+        }
+    }
+}
+
+void
+MultiHostSystem::tick(Cycles now)
+{
+    if (osPolicy_ && now >= nextEpoch_) {
+        runEpoch(now);
+        nextEpoch_ += cfg_.osEpochCycles();
+        if (nextEpoch_ <= now)
+            nextEpoch_ = now + cfg_.osEpochCycles();
+    }
+}
+
+void
+MultiHostSystem::flushSharedPage(std::uint64_t idx, Cycles now)
+{
+    const SharedMapping &m = space_->sharedMapping(idx);
+    const PhysAddr base = pageBase(m.frame);
+    for (unsigned li = 0; li < linesPerPage; ++li) {
+        const LineAddr line = lineOf(base + li * lineBytes);
+        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+            auto ev = hosts_[s].caches->invalidateLine(line);
+            if (ev && ev->dirty)
+                mem_.write(line, ev->data);
+        }
+        deviceDir_.deallocate(line);
+    }
+    (void)now;
+}
+
+bool
+MultiHostSystem::executePromotion(std::uint64_t idx, HostId target,
+                                  Cycles now)
+{
+    if (migratedTo_[idx] != invalidHost)
+        return false;
+    const PageFrame old_frame = space_->sharedMapping(idx).frame;
+    flushSharedPage(idx, now);
+    if (!space_->migrateSharedToHost(idx, target))
+        return false;
+    const PageFrame new_frame = space_->sharedMapping(idx).frame;
+    for (unsigned li = 0; li < linesPerPage; ++li) {
+        mem_.copyLine(lineOf(pageBase(old_frame) + li * lineBytes),
+                      lineOf(pageBase(new_frame) + li * lineBytes));
+    }
+    migratedTo_[idx] = target;
+    // Remapping invalidates the page's translation at every core.
+    for (auto &host : hosts_) {
+        for (Tlb &t : host.tlbs)
+            t.shootdown(idx);
+    }
+    // Page copy traffic: CXL read, link to the target host, local write.
+    const auto scaled =
+        static_cast<unsigned>(cfg_.osPageTransferBytes());
+    hosts_[target].link->transfer(LinkDir::toHost, scaled, now);
+    cxlDram_.access(pageBase(old_frame) - cfg_.cxlBase(), now, false);
+    hosts_[target].dram->access(
+        pageBase(new_frame) - cfg_.localBase(target), now, true);
+    migrationTransferBytes.inc(pageBytes);
+    osMigrations.inc();
+    if (harmful_)
+        harmful_->onMigration(idx, target);
+    return true;
+}
+
+void
+MultiHostSystem::executeDemotion(std::uint64_t idx, Cycles now)
+{
+    if (migratedTo_[idx] == invalidHost)
+        return;
+    const HostId from = migratedTo_[idx];
+    const PageFrame old_frame = space_->sharedMapping(idx).frame;
+    flushSharedPage(idx, now);
+    space_->demoteSharedToCxl(idx);
+    const PageFrame new_frame = space_->sharedMapping(idx).frame;
+    for (unsigned li = 0; li < linesPerPage; ++li) {
+        mem_.copyLine(lineOf(pageBase(old_frame) + li * lineBytes),
+                      lineOf(pageBase(new_frame) + li * lineBytes));
+    }
+    migratedTo_[idx] = invalidHost;
+    for (auto &host : hosts_) {
+        for (Tlb &t : host.tlbs)
+            t.shootdown(idx);
+    }
+    const auto scaled =
+        static_cast<unsigned>(cfg_.osPageTransferBytes());
+    hosts_[from].link->transfer(LinkDir::toDevice, scaled, now);
+    hosts_[from].dram->access(pageBase(old_frame) - cfg_.localBase(from),
+                              now, false);
+    cxlDram_.access(pageBase(new_frame) - cfg_.cxlBase(), now, true);
+    migrationTransferBytes.inc(pageBytes);
+    osDemotions.inc();
+    if (harmful_)
+        harmful_->onDemotion(idx);
+}
+
+void
+MultiHostSystem::runEpoch(Cycles now)
+{
+    EpochContext ctx;
+    ctx.sharedPages = space_->sharedPages();
+    ctx.numHosts = cfg_.numHosts;
+    const std::uint64_t private_pages =
+        (space_->privateBytesPerHost() + pageBytes - 1) / pageBytes;
+    ctx.localBudgetPages =
+        cfg_.localBytesPerHost() / pageBytes - private_pages;
+    ctx.maxPagesPerEpoch = cfg_.osMigration.maxPagesPerEpoch;
+    ctx.hotThreshold = cfg_.osMigration.hotThreshold;
+    ctx.usedFramesPerHost.resize(cfg_.numHosts);
+    for (unsigned h = 0; h < cfg_.numHosts; ++h)
+        ctx.usedFramesPerHost[h] = space_->migratedFramesOn(
+            static_cast<HostId>(h));
+
+    const EpochPlan plan = osPolicy_->epoch(ctx, migratedTo_);
+
+    std::uint64_t moved = 0;
+    std::vector<std::uint64_t> initiated(cfg_.numHosts, 0);
+    for (const Promotion &p : plan.promotions) {
+        if (executePromotion(p.sharedIdx, p.target, now)) {
+            ++moved;
+            ++initiated[p.target];
+        }
+    }
+    for (std::uint64_t idx : plan.demotions) {
+        if (migratedTo_[idx] != invalidHost) {
+            const HostId from = migratedTo_[idx];
+            executeDemotion(idx, now);
+            ++moved;
+            ++initiated[from];
+        }
+    }
+    if (moved == 0)
+        return;
+
+    // Kernel costs: the initiating core (core 0 of the initiating host,
+    // modelling the kernel migration thread) pays the per-page cost; every
+    // other core in the system pays the TLB-shootdown/IPI cost, since the
+    // unified PA change must be propagated to all hosts (§3.1).
+    const Cycles init_cost = cfg_.osPageInitiatorCycles();
+    const Cycles other_cost = cfg_.osPageOtherCycles();
+    for (unsigned h = 0; h < cfg_.numHosts; ++h) {
+        for (unsigned c = 0; c < cfg_.coresPerHost; ++c) {
+            Cycles charge = moved * other_cost;
+            if (c == 0 && initiated[h] > 0)
+                charge += initiated[h] * init_cost;
+            hosts_[h].pendingStall[c] += charge;
+            mgmtStallCycles.inc(charge);
+        }
+    }
+}
+
+void
+MultiHostSystem::resetStats()
+{
+    stats_.resetAll();
+    for (auto &host : hosts_) {
+        host.caches->stats().resetAll();
+        host.dram->stats().resetAll();
+        host.link->stats().resetAll();
+        if (host.localRemap)
+            host.localRemap->stats().resetAll();
+    }
+    deviceDir_.stats().resetAll();
+    cxlDram_.stats().resetAll();
+    if (globalRemap_)
+        globalRemap_->stats().resetAll();
+    if (pipm_)
+        pipm_->stats().resetAll();
+}
+
+void
+MultiHostSystem::checkInvariants() const
+{
+    // SWMR: a line cached M/ME anywhere is cached nowhere else; S lines
+    // may be cached at several hosts but never alongside M.
+    // Directory precision: device-M lines are cached in M at exactly the
+    // owner; PIPM bitmap lines have no directory entry.
+    const PhysAddr cxl_base = cfg_.cxlBase();
+    const PhysAddr cxl_end = cfg_.addressSpaceEnd();
+    for (LineAddr line = lineOf(cxl_base); line < lineOf(cxl_end); ++line) {
+        unsigned m_holders = 0;
+        unsigned s_holders = 0;
+        for (unsigned h = 0; h < cfg_.numHosts; ++h) {
+            switch (hosts_[h].caches->stateOf(line)) {
+              case HostState::M:
+              case HostState::ME:
+                ++m_holders;
+                break;
+              case HostState::S:
+                ++s_holders;
+                break;
+              case HostState::I:
+                break;
+            }
+        }
+        panic_if(m_holders > 1, "SWMR violated: line ", line,
+                 " exclusively cached at ", m_holders, " hosts");
+        panic_if(m_holders == 1 && s_holders > 0,
+                 "SWMR violated: line ", line,
+                 " cached M alongside S copies");
+        if (scheme_ == Scheme::localOnly)
+            continue;
+        const DirEntry *entry = deviceDir_.probe(line);
+        if (pipm_) {
+            const PageFrame page = pageOfLine(line);
+            const HostId mh = pipm_->migratedHostOf(page);
+            if (mh != invalidHost &&
+                pipm_->lineMigrated(
+                    mh, page,
+                    static_cast<unsigned>(line & (linesPerPage - 1)))) {
+                panic_if(entry != nullptr && !naiveCoherence_,
+                         "migrated line ", line,
+                         " still has a device directory entry");
+                if (!naiveCoherence_)
+                    continue;
+            }
+        }
+        if (entry && entry->state == DevState::M) {
+            const HostId owner = entry->owner();
+            panic_if(hosts_[owner].caches->stateOf(line) != HostState::M,
+                     "device-M line ", line, " not cached M at owner");
+        }
+    }
+}
+
+} // namespace pipm

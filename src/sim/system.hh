@@ -1,0 +1,268 @@
+/**
+ * @file
+ * The multi-host CXL-DSM system model: hosts (cores' caches, local DRAM,
+ * CXL link, local remapping cache), the CXL memory node (device coherence
+ * directory, CXL DRAM, global remapping cache), the coherence protocol of
+ * Fig. 2 with the GIM inter-host path of Fig. 3, and — depending on the
+ * selected scheme — either OS whole-page migration (Nomad/Memtis/HeMem/
+ * OS-skew) or the PIPM/HW-static partial-and-incremental mechanism with
+ * the coherence extensions of Fig. 9.
+ *
+ * Coherence is modelled as atomic transactions (the paper's ZSim-style
+ * lock-based scheme, §5.1.4): each LLC miss resolves its full protocol
+ * flow at once, accumulating per-hop latency from the contended resources
+ * it traverses (links, directory slices, DRAM banks) and updating every
+ * coherence structure before the next transaction starts. Off-critical-
+ * path traffic (writebacks, invalidation fan-out, migration copies) is
+ * charged to the resources as bandwidth without extending the demand
+ * access's latency.
+ */
+
+#ifndef PIPM_SIM_SYSTEM_HH
+#define PIPM_SIM_SYSTEM_HH
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "cache/hierarchy.hh"
+#include "coherence/device_directory.hh"
+#include "common/config.hh"
+#include "common/stats.hh"
+#include "cxl/link.hh"
+#include "mem/dram.hh"
+#include "mem/memory_image.hh"
+#include "migration/harmful.hh"
+#include "migration/os_policy.hh"
+#include "os/address_space.hh"
+#include "os/tlb.hh"
+#include "pipm/pipm_state.hh"
+#include "pipm/remap_cache.hh"
+#include "sim/scheme.hh"
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** Outcome of one demand access. */
+struct AccessResult
+{
+    Cycles latency = 0;       ///< cycles until the data returns
+    /**
+     * Serial kernel stall charged to the issuing core before the access
+     * (migration work, TLB-shootdown IPIs). Unlike `latency`, this cannot
+     * be hidden by the out-of-order window: the runner advances the
+     * core's clock by it.
+     */
+    Cycles stall = 0;
+    std::uint64_t data = 0;   ///< data token read (reads only)
+};
+
+/** Analytic per-class latency estimates derived from a configuration. */
+struct LatencyEstimates
+{
+    Cycles local = 0;   ///< LLC miss to local DRAM
+    Cycles cxl = 0;     ///< cacheable 2-hop CXL access
+    Cycles gim = 0;     ///< non-cacheable 4-hop inter-host access
+
+    static LatencyEstimates from(const SystemConfig &cfg);
+};
+
+/** The simulated machine. */
+class MultiHostSystem
+{
+  public:
+    /**
+     * @param cfg machine configuration
+     * @param scheme memory-management scheme under test
+     * @param workload the benchmark (provides footprints)
+     * @param seed determinism seed
+     */
+    MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
+                    const Workload &workload, std::uint64_t seed);
+    ~MultiHostSystem();
+
+    MultiHostSystem(const MultiHostSystem &) = delete;
+    MultiHostSystem &operator=(const MultiHostSystem &) = delete;
+
+    /**
+     * Execute one demand access issued by core `c` of host `h` at time
+     * `now`. Includes any pending kernel stall charged to that core.
+     * @param write_data token stored by writes (ignored for reads)
+     */
+    AccessResult access(HostId h, CoreId c, const MemRef &ref, Cycles now,
+                        std::uint64_t write_data = 0);
+
+    /** Advance epoch machinery (OS migration schemes). */
+    void tick(Cycles now);
+
+    /** Reset all measurement stats (end of warmup). */
+    void resetStats();
+
+    // ---- Introspection ------------------------------------------------
+
+    const SystemConfig &config() const { return cfg_; }
+    Scheme scheme() const { return scheme_; }
+    AddressSpace &space() { return *space_; }
+    PipmState *pipmState() { return pipm_.get(); }
+    OsPolicy *osPolicy() { return osPolicy_.get(); }
+    HarmfulTracker *harmfulTracker() { return harmful_.get(); }
+    MemoryImage &memory() { return mem_; }
+    CacheHierarchy &hierarchy(HostId h) { return *hosts_[h].caches; }
+    DeviceDirectory &deviceDirectory() { return deviceDir_; }
+    CxlLink &link(HostId h) { return *hosts_[h].link; }
+    Tlb *tlb(HostId h, CoreId c)
+    {
+        return hosts_[h].tlbs.empty() ? nullptr : &hosts_[h].tlbs[c];
+    }
+    DramDevice &localDram(HostId h) { return *hosts_[h].dram; }
+    DramDevice &cxlDram() { return cxlDram_; }
+    RemapCache *localRemapCache(HostId h)
+    {
+        return hosts_[h].localRemap.get();
+    }
+    RemapCache *globalRemapCache() { return globalRemap_.get(); }
+
+    /** Host a shared page is currently OS-migrated to (or invalidHost). */
+    HostId gimHostOf(std::uint64_t shared_idx) const;
+
+    /**
+     * §6 software interface: allow or forbid partial migration of a
+     * shared page (PIPM mechanism schemes only). Forbidding a currently
+     * migrated page revokes it immediately.
+     */
+    void setPageMigrationAllowed(std::uint64_t shared_idx, bool allowed);
+
+    /**
+     * Check cross-structure coherence invariants (SWMR, directory
+     * precision, bitmap consistency); panics on violation. For tests.
+     */
+    void checkInvariants() const;
+
+    // ---- Measurement stats ---------------------------------------------
+
+    Counter demandAccesses;      ///< all demand accesses
+    Counter sharedAccesses;      ///< accesses to shared heap data
+    Counter sharedLlcMisses;     ///< shared accesses missing the caches
+    Counter localServedMisses;   ///< shared misses served by own local DRAM
+    Counter cxlServedMisses;     ///< shared misses served by CXL memory
+    Counter interHostAccesses;   ///< served from another host (cache/DRAM)
+    Counter interHostStallCycles;///< latency of inter-host accesses
+    Counter mgmtStallCycles;     ///< kernel migration stalls charged
+    Counter migrationTransferBytes; ///< page-copy bytes (unscaled)
+    Counter osMigrations;        ///< whole-page promotions executed
+    Counter osDemotions;         ///< whole-page demotions executed
+    Counter upgradeMisses;       ///< S->M upgrades
+    Average avgSharedMissLatency;
+    Average avgLocalMissLatency;
+    Average avgCxlMissLatency;
+    Average avgInterHostLatency;
+
+    StatGroup &stats() { return stats_; }
+
+  private:
+    /** Everything belonging to one host. */
+    struct Host
+    {
+        std::unique_ptr<CacheHierarchy> caches;
+        std::unique_ptr<DramDevice> dram;
+        std::unique_ptr<CxlLink> link;
+        std::unique_ptr<RemapCache> localRemap;   ///< mechanism modes only
+        std::vector<Cycles> pendingStall;         ///< per core
+        std::vector<Tlb> tlbs;                    ///< per core (optional)
+    };
+
+    // ---- Access paths ---------------------------------------------------
+
+    /** Cacheable access to data homed in host h's own local DRAM. */
+    Cycles localAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
+                       Cycles now, std::uint64_t wdata,
+                       std::uint64_t *rdata);
+
+    /** Non-cacheable 4-hop access to another host's GIM memory (Fig. 3). */
+    Cycles gimRemoteAccess(HostId h, HostId owner, PhysAddr pa, MemOp op,
+                           Cycles now, std::uint64_t wdata,
+                           std::uint64_t *rdata);
+
+    /** Coherent access to the CXL-DSM pool (Fig. 2 + PIPM paths). */
+    Cycles cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
+                     PhysAddr pa, MemOp op, Cycles now, std::uint64_t wdata,
+                     std::uint64_t *rdata);
+
+    /** Ideal scheme: shared data served from the accessing host's DRAM. */
+    Cycles idealAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
+                       Cycles now, std::uint64_t wdata,
+                       std::uint64_t *rdata);
+
+    // ---- Protocol helpers ----------------------------------------------
+
+    /** S->M upgrade at the device directory (write hit on shared line). */
+    Cycles upgrade(HostId h, LineAddr line, Cycles now);
+
+    /** Handle one LLC eviction (cases 1 and 4 live here). */
+    void handleEviction(HostId h, const CacheHierarchy::Eviction &ev,
+                        Cycles now);
+
+    /** Convenience wrapper for the optional eviction a fill returns. */
+    void
+    handleEvictions(HostId h,
+                    const std::optional<CacheHierarchy::Eviction> &ev,
+                    Cycles now)
+    {
+        if (ev)
+            handleEviction(h, *ev, now);
+    }
+
+    /** Invalidate a recalled directory victim at its sharers. */
+    void handleRecall(const DeviceDirectory::Recall &recall, Cycles now);
+
+    /** Allocate a device directory entry, processing any recall. */
+    void dirAllocate(LineAddr line, DirEntry entry, Cycles now);
+
+    /** Local remapping lookup on the LLC-miss path (cache or walk). */
+    Cycles localRemapLookup(HostId h, PageFrame page, Cycles now);
+
+    /** Global remapping lookup when forwarding inter-host requests. */
+    Cycles globalRemapLookup(PageFrame page, Cycles now);
+
+    /** Move every migrated line of a revoked page back to CXL memory. */
+    void performRevocation(HostId owner, PageFrame page, Cycles now);
+
+    /** Take and clear the pending kernel stall of a core. */
+    Cycles takePendingStall(HostId h, CoreId c);
+
+    // ---- OS migration ----------------------------------------------------
+
+    void runEpoch(Cycles now);
+    bool executePromotion(std::uint64_t idx, HostId target, Cycles now);
+    void executeDemotion(std::uint64_t idx, Cycles now);
+    /** Flush a shared page's lines from all caches and the directory. */
+    void flushSharedPage(std::uint64_t idx, Cycles now);
+
+    SystemConfig cfg_;
+    Scheme scheme_;
+    std::uint64_t seed_;
+    std::unique_ptr<AddressSpace> space_;
+    MemoryImage mem_;
+
+    std::unique_ptr<CxlSwitch> switch_;   ///< shared fabric stage
+    std::vector<Host> hosts_;
+    DeviceDirectory deviceDir_;
+    DramDevice cxlDram_;
+    std::unique_ptr<RemapCache> globalRemap_;   ///< mechanism modes only
+
+    std::unique_ptr<PipmState> pipm_;
+    std::unique_ptr<OsPolicy> osPolicy_;
+    std::unique_ptr<HarmfulTracker> harmful_;
+    std::vector<HostId> migratedTo_;   ///< OS placement per shared page
+    Cycles nextEpoch_ = 0;
+
+    bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
+    LatencyEstimates est_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_SIM_SYSTEM_HH

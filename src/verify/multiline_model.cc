@@ -1,0 +1,234 @@
+#include "verify/multiline_model.hh"
+
+#include <deque>
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+std::uint64_t
+PageProtoState::encode(unsigned num_hosts) const
+{
+    std::uint64_t bits = 0;
+    auto push = [&bits](std::uint64_t v, unsigned width) {
+        bits = (bits << width) | v;
+    };
+    for (const LineView &lv : line) {
+        for (unsigned h = 0; h < num_hosts; ++h) {
+            push(static_cast<std::uint64_t>(lv.host[h].cache), 2);
+            push(lv.host[h].latest ? 1 : 0, 1);
+            push(lv.host[h].dirty ? 1 : 0, 1);
+        }
+        push(lv.memLatest ? 1 : 0, 1);
+        push(lv.lineMigrated ? 1 : 0, 1);
+        push(lv.localLatest ? 1 : 0, 1);
+        push(static_cast<std::uint64_t>(lv.dir), 2);
+        push(lv.sharers, num_hosts);
+    }
+    push(promotedTo == invalidHost ? ProtoState::maxHosts : promotedTo, 3);
+    return bits;
+}
+
+std::string
+PageProtoState::describe(unsigned num_hosts) const
+{
+    std::ostringstream os;
+    os << "promoted=";
+    if (promotedTo == invalidHost)
+        os << "none";
+    else
+        os << 'h' << int(promotedTo);
+    for (unsigned li = 0; li < numLines; ++li) {
+        os << " | L" << li << ": ";
+        for (unsigned h = 0; h < num_hosts; ++h) {
+            os << toString(line[li].host[h].cache)
+               << (line[li].host[h].latest ? "+" : "-");
+        }
+        os << " mem" << (line[li].memLatest ? "+" : "-") << " bit="
+           << (line[li].lineMigrated ? 1 : 0) << " dir="
+           << toString(line[li].dir);
+    }
+    return os.str();
+}
+
+MultiLineModel::MultiLineModel(unsigned num_hosts)
+    : lineModel_(num_hosts), numHosts_(num_hosts)
+{
+    panic_if(num_hosts > 3,
+             "two-line model supports up to 3 hosts (encoding width)");
+}
+
+PageProtoState
+MultiLineModel::initial() const
+{
+    return PageProtoState{};
+}
+
+ProtoState
+MultiLineModel::toLineState(const PageProtoState &s,
+                            unsigned line_idx) const
+{
+    const PageProtoState::LineView &lv = s.line[line_idx];
+    ProtoState out;
+    out.host = lv.host;
+    out.memLatest = lv.memLatest;
+    out.promotedTo = s.promotedTo;
+    out.lineMigrated = lv.lineMigrated;
+    out.localLatest = lv.localLatest;
+    out.dir = lv.dir;
+    out.sharers = lv.sharers;
+    return out;
+}
+
+void
+MultiLineModel::fromLineState(PageProtoState &s, unsigned line_idx,
+                              const ProtoState &line) const
+{
+    PageProtoState::LineView &lv = s.line[line_idx];
+    lv.host = line.host;
+    lv.memLatest = line.memLatest;
+    lv.lineMigrated = line.lineMigrated;
+    lv.localLatest = line.localLatest;
+    lv.dir = line.dir;
+    lv.sharers = line.sharers;
+    s.promotedTo = line.promotedTo;
+}
+
+bool
+MultiLineModel::enabled(const PageProtoState &s, ProtoEvent event,
+                        HostId h, unsigned line_idx) const
+{
+    if (event == ProtoEvent::promote || event == ProtoEvent::revoke) {
+        // Page-level events: expand them only once (line 0).
+        if (line_idx != 0)
+            return false;
+        return lineModel_.enabled(toLineState(s, 0), event, h);
+    }
+    return lineModel_.enabled(toLineState(s, line_idx), event, h);
+}
+
+PageProtoState
+MultiLineModel::apply(const PageProtoState &s, ProtoEvent event, HostId h,
+                      unsigned line_idx) const
+{
+    PageProtoState n = s;
+    if (event == ProtoEvent::promote) {
+        n.promotedTo = h;
+        return n;
+    }
+    if (event == ProtoEvent::revoke) {
+        // §4.2 step 6: every migrated line of the page moves back to its
+        // CXL home before the local entry disappears.
+        for (unsigned li = 0; li < PageProtoState::numLines; ++li) {
+            const ProtoState after =
+                lineModel_.apply(toLineState(n, li), ProtoEvent::revoke,
+                                 h);
+            fromLineState(n, li, after);
+            // Keep the entry alive until the last line is processed so
+            // every per-line apply sees promotedTo == h.
+            n.promotedTo = h;
+        }
+        n.promotedTo = invalidHost;
+        return n;
+    }
+    const ProtoState after =
+        lineModel_.apply(toLineState(s, line_idx), event, h);
+    fromLineState(n, line_idx, after);
+    // Per-line events never change the page-level entry.
+    n.promotedTo = s.promotedTo;
+    return n;
+}
+
+std::string
+MultiLineModel::checkInvariants(const PageProtoState &s) const
+{
+    for (unsigned li = 0; li < PageProtoState::numLines; ++li) {
+        const std::string why =
+            lineModel_.checkInvariants(toLineState(s, li));
+        if (!why.empty())
+            return "line " + std::to_string(li) + ": " + why;
+    }
+    // Page-level coupling: no migrated line without a live entry.
+    for (unsigned li = 0; li < PageProtoState::numLines; ++li) {
+        if (s.line[li].lineMigrated && s.promotedTo == invalidHost)
+            return "line " + std::to_string(li) +
+                   " migrated after the entry was revoked";
+    }
+    return {};
+}
+
+CheckResult
+checkMultiLineProtocol(unsigned num_hosts, std::uint64_t max_states)
+{
+    MultiLineModel model(num_hosts);
+    CheckResult result;
+
+    const PageProtoState init = model.initial();
+    std::unordered_set<std::uint64_t> visited;
+    std::deque<PageProtoState> frontier;
+
+    {
+        const std::string why = model.checkInvariants(init);
+        if (!why.empty()) {
+            result.violation = why;
+            return result;
+        }
+    }
+    visited.insert(init.encode(num_hosts));
+    frontier.push_back(init);
+
+    while (!frontier.empty()) {
+        const PageProtoState s = frontier.front();
+        frontier.pop_front();
+
+        bool any_enabled = false;
+        for (ProtoEvent event : allProtoEvents) {
+            for (unsigned h = 0; h < num_hosts; ++h) {
+                for (unsigned li = 0; li < PageProtoState::numLines;
+                     ++li) {
+                    const auto host = static_cast<HostId>(h);
+                    if (!model.enabled(s, event, host, li))
+                        continue;
+                    any_enabled = true;
+                    ++result.transitions;
+                    const PageProtoState n =
+                        model.apply(s, event, host, li);
+                    if (!visited.insert(n.encode(num_hosts)).second)
+                        continue;
+                    const std::string why = model.checkInvariants(n);
+                    if (!why.empty()) {
+                        result.violation =
+                            why + "\nafter " +
+                            std::string(toString(event)) + "(h" +
+                            std::to_string(h) + ", line " +
+                            std::to_string(li) +
+                            ")\nstate: " + n.describe(num_hosts);
+                        result.statesExplored = visited.size();
+                        return result;
+                    }
+                    if (visited.size() >= max_states) {
+                        result.violation = "state-space bound exceeded";
+                        result.statesExplored = visited.size();
+                        return result;
+                    }
+                    frontier.push_back(n);
+                }
+            }
+        }
+        if (!any_enabled) {
+            result.violation = "deadlock: no event enabled\nstate: " +
+                               s.describe(num_hosts);
+            result.statesExplored = visited.size();
+            return result;
+        }
+    }
+
+    result.ok = true;
+    result.statesExplored = visited.size();
+    return result;
+}
+
+} // namespace pipm

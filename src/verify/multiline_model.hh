@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Two-line extension of the PIPM protocol model.
+ *
+ * The single-line model (protocol_model.hh) verifies each line's state
+ * machine but cannot exercise *page-level* couplings: two lines of the
+ * same page share the promotion state (one local entry, one frame) and a
+ * revocation must move every migrated line of the page back at once
+ * (§4.2 step 6). This model tracks two lines of one page — per-line
+ * cache/memory/bit/directory state plus the shared promotedTo — and the
+ * checker explores all interleavings of per-line reads/writes/evictions
+ * with page-level promotions and revocations.
+ */
+
+#ifndef PIPM_VERIFY_MULTILINE_MODEL_HH
+#define PIPM_VERIFY_MULTILINE_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "verify/checker.hh"
+#include "verify/protocol_model.hh"
+
+namespace pipm
+{
+
+/** State of two lines of one page. */
+struct PageProtoState
+{
+    static constexpr unsigned numLines = 2;
+
+    /** Per-line state minus the page-level fields. */
+    struct LineView
+    {
+        std::array<ProtoState::HostView, ProtoState::maxHosts> host{};
+        bool memLatest = true;
+        bool lineMigrated = false;
+        bool localLatest = false;
+        DevState dir = DevState::I;
+        std::uint8_t sharers = 0;
+
+        bool operator==(const LineView &) const = default;
+    };
+
+    std::array<LineView, numLines> line{};
+    HostId promotedTo = invalidHost;
+
+    bool operator==(const PageProtoState &) const = default;
+
+    /** Dense encoding for visited-set hashing (2 hosts x 2 lines). */
+    std::uint64_t encode(unsigned num_hosts) const;
+
+    std::string describe(unsigned num_hosts) const;
+};
+
+/**
+ * Page-level model: per-line transitions delegate to the single-line
+ * ProtocolModel; promote/revoke act on the whole page.
+ */
+class MultiLineModel
+{
+  public:
+    explicit MultiLineModel(unsigned num_hosts);
+
+    PageProtoState initial() const;
+
+    /** Whether (event, host) on `line_idx` is enabled (line_idx ignored
+     *  for promote/revoke). */
+    bool enabled(const PageProtoState &s, ProtoEvent event, HostId h,
+                 unsigned line_idx) const;
+
+    PageProtoState apply(const PageProtoState &s, ProtoEvent event,
+                         HostId h, unsigned line_idx) const;
+
+    /** Per-line invariants plus the page-level couplings. */
+    std::string checkInvariants(const PageProtoState &s) const;
+
+  private:
+    /** Pack one line + the page field into a single-line ProtoState. */
+    ProtoState toLineState(const PageProtoState &s,
+                           unsigned line_idx) const;
+
+    /** Unpack a single-line result back into the page state. */
+    void fromLineState(PageProtoState &s, unsigned line_idx,
+                       const ProtoState &line) const;
+
+    ProtocolModel lineModel_;
+    unsigned numHosts_;
+};
+
+/** Result bundle mirroring checkProtocol() for the two-line model. */
+CheckResult checkMultiLineProtocol(unsigned num_hosts,
+                                   std::uint64_t max_states = 50'000'000);
+
+} // namespace pipm
+
+#endif // PIPM_VERIFY_MULTILINE_MODEL_HH

@@ -1,0 +1,407 @@
+#include "verify/protocol_model.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+std::uint64_t
+ProtoState::encode(unsigned num_hosts) const
+{
+    std::uint64_t bits = 0;
+    auto push = [&bits](std::uint64_t v, unsigned width) {
+        bits = (bits << width) | v;
+    };
+    for (unsigned h = 0; h < num_hosts; ++h) {
+        push(static_cast<std::uint64_t>(host[h].cache), 2);
+        push(host[h].latest ? 1 : 0, 1);
+        push(host[h].dirty ? 1 : 0, 1);
+    }
+    push(memLatest ? 1 : 0, 1);
+    push(promotedTo == invalidHost ? maxHosts : promotedTo, 3);
+    push(lineMigrated ? 1 : 0, 1);
+    push(localLatest ? 1 : 0, 1);
+    push(static_cast<std::uint64_t>(dir), 2);
+    push(sharers, maxHosts);
+    return bits;
+}
+
+std::string
+ProtoState::describe(unsigned num_hosts) const
+{
+    std::ostringstream os;
+    for (unsigned h = 0; h < num_hosts; ++h) {
+        os << "h" << h << "=" << toString(host[h].cache)
+           << (host[h].latest ? "+" : "-") << (host[h].dirty ? "d" : "c")
+           << ' ';
+    }
+    os << "mem" << (memLatest ? "+" : "-") << " promoted=";
+    if (promotedTo == invalidHost)
+        os << "none";
+    else
+        os << 'h' << int(promotedTo);
+    os << " bit=" << (lineMigrated ? 1 : 0)
+       << " local" << (localLatest ? "+" : "-") << " dir="
+       << toString(dir) << " sharers=" << int(sharers);
+    return os.str();
+}
+
+ProtocolModel::ProtocolModel(unsigned num_hosts) : numHosts_(num_hosts)
+{
+    panic_if(num_hosts < 2 || num_hosts > ProtoState::maxHosts,
+             "model supports 2..4 hosts");
+}
+
+ProtoState
+ProtocolModel::initial() const
+{
+    return ProtoState{};
+}
+
+bool
+ProtocolModel::enabled(const ProtoState &s, ProtoEvent event,
+                       HostId h) const
+{
+    if (h >= numHosts_)
+        return false;
+    switch (event) {
+      case ProtoEvent::read:
+      case ProtoEvent::write:
+        return true;
+      case ProtoEvent::evict:
+        return s.host[h].cache != HostState::I;
+      case ProtoEvent::promote:
+        return s.promotedTo == invalidHost && h != invalidHost;
+      case ProtoEvent::revoke:
+        return s.promotedTo == h;
+    }
+    return false;
+}
+
+void
+ProtocolModel::dropAllCached(ProtoState &s, int except)
+{
+    for (unsigned k = 0; k < ProtoState::maxHosts; ++k) {
+        if (static_cast<int>(k) == except)
+            continue;
+        s.host[k] = ProtoState::HostView{};
+    }
+}
+
+ProtoState
+ProtocolModel::apply(const ProtoState &s, ProtoEvent event, HostId h) const
+{
+    panic_if(!enabled(s, event, h), "applying a disabled event");
+    ProtoState n = s;
+    auto &me = n.host[h];
+
+    switch (event) {
+      case ProtoEvent::read: {
+        if (me.cache != HostState::I)
+            return n;   // cache hit: no protocol activity
+
+        if (n.lineMigrated && n.promotedTo == h) {
+            // Case 3: I' -> ME, served from local DRAM.
+            me.cache = HostState::ME;
+            me.latest = n.localLatest;
+            me.dirty = false;
+            return n;
+        }
+        if (n.lineMigrated && n.promotedTo != h) {
+            const HostId k = n.promotedTo;
+            auto &owner = n.host[k];
+            if (owner.cache == HostState::ME) {
+                // Case 6: inter-host read of an ME line. Owner drops to
+                // S; the data migrates back to CXL memory.
+                n.memLatest = owner.latest;
+                owner.cache = HostState::S;
+                owner.dirty = false;
+                n.lineMigrated = false;
+                n.localLatest = false;
+                n.dir = DevState::S;
+                n.sharers = static_cast<std::uint8_t>((1u << h) |
+                                                      (1u << k));
+                me.cache = HostState::S;
+                me.latest = owner.latest;
+                return n;
+            }
+            // Case 2: I' uncached at the owner; the local-DRAM copy
+            // migrates back and the requester caches exclusively.
+            n.memLatest = n.localLatest;
+            n.lineMigrated = false;
+            n.localLatest = false;
+            n.dir = DevState::M;
+            n.sharers = static_cast<std::uint8_t>(1u << h);
+            me.cache = HostState::M;
+            me.latest = s.localLatest;
+            me.dirty = false;
+            return n;
+        }
+        // Not migrated: base MESI flows (Fig. 2).
+        if (n.dir == DevState::M) {
+            const HostId k = static_cast<HostId>([&] {
+                for (unsigned i = 0; i < numHosts_; ++i) {
+                    if (n.sharers & (1u << i))
+                        return i;
+                }
+                return unsigned(invalidHost);
+            }());
+            auto &owner = n.host[k];
+            // Forward: owner downgrades to S and writes back.
+            n.memLatest = owner.latest;
+            owner.cache = HostState::S;
+            owner.dirty = false;
+            n.dir = DevState::S;
+            n.sharers |= static_cast<std::uint8_t>(1u << h);
+            me.cache = HostState::S;
+            me.latest = owner.latest;
+            return n;
+        }
+        if (n.dir == DevState::S) {
+            n.sharers |= static_cast<std::uint8_t>(1u << h);
+            me.cache = HostState::S;
+            me.latest = n.memLatest;
+            return n;
+        }
+        // dir I: exclusive (MESI E folded into M) grant from memory.
+        n.dir = DevState::M;
+        n.sharers = static_cast<std::uint8_t>(1u << h);
+        me.cache = HostState::M;
+        me.latest = n.memLatest;
+        me.dirty = false;
+        return n;
+      }
+
+      case ProtoEvent::write: {
+        if (me.cache == HostState::M || me.cache == HostState::ME) {
+            // Write hit on an exclusive copy.
+            me.latest = true;
+            me.dirty = true;
+            n.memLatest = false;
+            if (me.cache == HostState::ME)
+                n.localLatest = false;
+            return n;
+        }
+        if (me.cache == HostState::S) {
+            // Upgrade: invalidate the other sharers.
+            for (unsigned k = 0; k < numHosts_; ++k) {
+                if (k != h)
+                    n.host[k] = ProtoState::HostView{};
+            }
+            n.dir = DevState::M;
+            n.sharers = static_cast<std::uint8_t>(1u << h);
+            me.cache = HostState::M;
+            me.latest = true;
+            me.dirty = true;
+            n.memLatest = false;
+            return n;
+        }
+        // Write miss.
+        if (n.lineMigrated && n.promotedTo == h) {
+            // Case 3 (Loc-Wr on I'): fill from local DRAM, then write.
+            me.cache = HostState::ME;
+            me.latest = true;
+            me.dirty = true;
+            n.localLatest = false;
+            n.memLatest = false;
+            return n;
+        }
+        if (n.lineMigrated && n.promotedTo != h) {
+            // Cases 5 (owner in ME) and 2 (owner I'): the line migrates
+            // back and the requester takes exclusive ownership.
+            const HostId k = n.promotedTo;
+            n.host[k] = ProtoState::HostView{};
+            n.lineMigrated = false;
+            n.localLatest = false;
+            n.dir = DevState::M;
+            n.sharers = static_cast<std::uint8_t>(1u << h);
+            me.cache = HostState::M;
+            me.latest = true;
+            me.dirty = true;
+            n.memLatest = false;
+            return n;
+        }
+        if (n.dir == DevState::M || n.dir == DevState::S) {
+            // Invalidate every current holder, then take ownership.
+            for (unsigned k = 0; k < numHosts_; ++k) {
+                if (k != h)
+                    n.host[k] = ProtoState::HostView{};
+            }
+        }
+        n.dir = DevState::M;
+        n.sharers = static_cast<std::uint8_t>(1u << h);
+        me.cache = HostState::M;
+        me.latest = true;
+        me.dirty = true;
+        n.memLatest = false;
+        return n;
+      }
+
+      case ProtoEvent::evict: {
+        if (me.cache == HostState::ME) {
+            // Case 4: ME -> I'; a dirty copy writes back to local DRAM.
+            n.localLatest = me.latest;
+            me = ProtoState::HostView{};
+            return n;
+        }
+        if (me.cache == HostState::M && n.promotedTo == h &&
+            !n.lineMigrated) {
+            // Case 1: incremental migration on local writeback — the
+            // data lands in the local frame, both bits flip, and the
+            // device directory entry is released. M -> I'.
+            n.lineMigrated = true;
+            n.localLatest = me.latest;
+            me = ProtoState::HostView{};
+            n.dir = DevState::I;
+            n.sharers = 0;
+            return n;
+        }
+        if (me.cache == HostState::M) {
+            // Normal writeback to CXL memory.
+            n.memLatest = me.latest;
+            me = ProtoState::HostView{};
+            n.dir = DevState::I;
+            n.sharers = 0;
+            return n;
+        }
+        // S eviction: silent drop plus directory notification.
+        me = ProtoState::HostView{};
+        n.sharers &= static_cast<std::uint8_t>(~(1u << h));
+        if (n.sharers == 0)
+            n.dir = DevState::I;
+        return n;
+      }
+
+      case ProtoEvent::promote:
+        n.promotedTo = h;
+        return n;
+
+      case ProtoEvent::revoke: {
+        // §4.2 step 6: every migrated line moves back to its CXL home
+        // and the local entry disappears. An ME-cached copy is pulled
+        // through the cache.
+        if (n.host[h].cache == HostState::ME) {
+            n.memLatest = n.host[h].latest;
+            n.host[h] = ProtoState::HostView{};
+            n.lineMigrated = false;
+            n.localLatest = false;
+        } else if (n.lineMigrated) {
+            n.memLatest = n.localLatest;
+            n.lineMigrated = false;
+            n.localLatest = false;
+        }
+        n.promotedTo = invalidHost;
+        return n;
+      }
+    }
+    return n;
+}
+
+std::string
+ProtocolModel::checkInvariants(const ProtoState &s) const
+{
+    unsigned exclusive = 0;
+    unsigned shared = 0;
+    for (unsigned h = 0; h < numHosts_; ++h) {
+        const auto &v = s.host[h];
+        switch (v.cache) {
+          case HostState::M:
+          case HostState::ME:
+            ++exclusive;
+            if (!v.latest)
+                return "exclusive copy is stale at host " +
+                       std::to_string(h);
+            break;
+          case HostState::S:
+            ++shared;
+            if (!v.latest)
+                return "shared copy is stale at host " +
+                       std::to_string(h);
+            if (v.dirty)
+                return "shared copy is dirty at host " +
+                       std::to_string(h);
+            break;
+          case HostState::I:
+            break;
+        }
+    }
+
+    // SWMR.
+    if (exclusive > 1)
+        return "SWMR violated: multiple exclusive holders";
+    if (exclusive == 1 && shared > 0)
+        return "SWMR violated: exclusive alongside shared copies";
+
+    // Data-value: the copy a read would find must be the latest.
+    if (exclusive == 0 && shared == 0) {
+        if (s.lineMigrated) {
+            if (!s.localLatest)
+                return "uncached migrated line has a stale local copy";
+        } else if (!s.memLatest) {
+            return "uncached unmigrated line has stale CXL memory";
+        }
+    }
+
+    // Encoding consistency (Fig. 9): migrated lines use I' (no directory
+    // entry); ME only at the promoted host.
+    if (s.lineMigrated) {
+        if (s.promotedTo == invalidHost)
+            return "in-memory bit set without a local entry";
+        if (s.dir != DevState::I || s.sharers != 0)
+            return "migrated line still has a device directory entry";
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (s.host[h].cache == HostState::S ||
+                s.host[h].cache == HostState::M) {
+                return "migrated line cached in a non-PIPM state";
+            }
+            if (s.host[h].cache == HostState::ME && h != s.promotedTo)
+                return "ME at a host the line is not migrated to";
+        }
+    } else {
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (s.host[h].cache == HostState::ME)
+                return "ME without the in-memory bit set";
+        }
+    }
+
+    // Directory precision.
+    if (s.dir == DevState::M) {
+        unsigned owners = 0;
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (s.sharers & (1u << h)) {
+                ++owners;
+                if (s.host[h].cache != HostState::M)
+                    return "directory M but owner does not cache M";
+            }
+        }
+        if (owners != 1)
+            return "directory M with sharer count != 1";
+    }
+    if (s.dir == DevState::S) {
+        if (s.sharers == 0)
+            return "directory S with no sharers";
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            const bool listed = s.sharers & (1u << h);
+            const bool cached = s.host[h].cache != HostState::I;
+            if (listed && s.host[h].cache != HostState::S)
+                return "directory S sharer not caching S";
+            if (!listed && cached)
+                return "cached copy missing from the sharer list";
+        }
+    }
+    if (s.dir == DevState::I) {
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (s.host[h].cache == HostState::S ||
+                s.host[h].cache == HostState::M) {
+                return "cached copy with no directory entry";
+            }
+        }
+        if (s.sharers != 0)
+            return "directory I with a nonempty sharer list";
+    }
+    return {};
+}
+
+} // namespace pipm

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Reduced model of the PIPM coherence protocol for explicit-state model
+ * checking (the reproduction's analog of the paper's Murphi verification,
+ * §5.1.4).
+ *
+ * The model tracks one cache line of one shared page across N hosts: each
+ * host's cache state (I/S/M/ME) with dirty and latest flags, the CXL
+ * memory copy, the page's partial-migration state (promoted host, the
+ * line's in-memory bit, the local-DRAM copy), and the device directory
+ * entry. Data values use the standard latest/stale abstraction: a write
+ * marks the writer's copy latest and every other copy stale, making the
+ * data-value invariant ("reads return the most recent write") finite-
+ * state.
+ *
+ * Events are the protocol-visible stimuli: Read(h), Write(h), Evict(h)
+ * (cache replacement), Promote(h) (the majority vote fires for host h)
+ * and Revoke(h) (the local counter drains). Promote/Revoke fire
+ * nondeterministically, over-approximating every possible counter
+ * behaviour — if no interleaving violates an invariant, no concrete
+ * vote policy can either.
+ *
+ * The transition rules are written directly from Fig. 9 (cases 1-6) and
+ * the base MESI flows of Fig. 2, independently of the simulator's
+ * implementation, so checking them also cross-checks the design the
+ * simulator implements.
+ */
+
+#ifndef PIPM_VERIFY_PROTOCOL_MODEL_HH
+#define PIPM_VERIFY_PROTOCOL_MODEL_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "coherence/state.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Event kinds the checker explores. */
+enum class ProtoEvent : std::uint8_t
+{
+    read,     ///< load by a host
+    write,    ///< store by a host
+    evict,    ///< cache replacement at a host
+    promote,  ///< vote fires: partial migration of the page to a host
+    revoke    ///< local counter drains: migration revoked
+};
+
+constexpr std::array<ProtoEvent, 5> allProtoEvents = {
+    ProtoEvent::read, ProtoEvent::write, ProtoEvent::evict,
+    ProtoEvent::promote, ProtoEvent::revoke,
+};
+
+constexpr std::string_view
+toString(ProtoEvent e)
+{
+    switch (e) {
+      case ProtoEvent::read: return "read";
+      case ProtoEvent::write: return "write";
+      case ProtoEvent::evict: return "evict";
+      case ProtoEvent::promote: return "promote";
+      case ProtoEvent::revoke: return "revoke";
+    }
+    return "?";
+}
+
+/** Model state: one line of one page across all hosts. */
+struct ProtoState
+{
+    static constexpr unsigned maxHosts = 4;
+
+    struct HostView
+    {
+        HostState cache = HostState::I;
+        bool latest = false;   ///< cached copy holds the latest value
+        bool dirty = false;
+
+        bool operator==(const HostView &) const = default;
+    };
+
+    std::array<HostView, maxHosts> host{};
+    bool memLatest = true;            ///< CXL memory copy is up to date
+    HostId promotedTo = invalidHost;  ///< page has a local entry here
+    bool lineMigrated = false;        ///< the line's in-memory bit
+    bool localLatest = false;         ///< local-DRAM copy is up to date
+    DevState dir = DevState::I;
+    std::uint8_t sharers = 0;
+
+    bool operator==(const ProtoState &) const = default;
+
+    /** Dense encoding for visited-set hashing. */
+    std::uint64_t encode(unsigned num_hosts) const;
+
+    /** Human-readable dump for counterexample traces. */
+    std::string describe(unsigned num_hosts) const;
+};
+
+/** Applies protocol transitions; reports invariant violations. */
+class ProtocolModel
+{
+  public:
+    explicit ProtocolModel(unsigned num_hosts);
+
+    unsigned numHosts() const { return numHosts_; }
+
+    /** The initial state: line in CXL memory, uncached everywhere. */
+    ProtoState initial() const;
+
+    /** Whether `event` by `h` is enabled in `s`. */
+    bool enabled(const ProtoState &s, ProtoEvent event, HostId h) const;
+
+    /** Apply an enabled event, returning the successor state. */
+    ProtoState apply(const ProtoState &s, ProtoEvent event, HostId h) const;
+
+    /**
+     * Check every safety invariant of a state.
+     * @return empty string when all hold, else a violation description
+     */
+    std::string checkInvariants(const ProtoState &s) const;
+
+  private:
+    /** Invalidate every cached copy except at `except` (-1: all). */
+    static void dropAllCached(ProtoState &s, int except);
+
+    unsigned numHosts_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_VERIFY_PROTOCOL_MODEL_HH

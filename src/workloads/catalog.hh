@@ -1,0 +1,32 @@
+/**
+ * @file
+ * The Table 1 workload catalog: construction and lookup of the 13
+ * evaluated benchmarks.
+ */
+
+#ifndef PIPM_WORKLOADS_CATALOG_HH
+#define PIPM_WORKLOADS_CATALOG_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "workloads/synthetic.hh"
+
+namespace pipm
+{
+
+/** Pattern parameters of every Table 1 benchmark, in paper order. */
+const std::vector<PatternParams> &table1Patterns();
+
+/** Instantiate all Table 1 workloads at a given footprint scale. */
+std::vector<std::unique_ptr<Workload>>
+table1Workloads(unsigned footprint_scale);
+
+/** Instantiate one benchmark by name ("sssp", "ycsb", ...). */
+std::unique_ptr<Workload> workloadByName(const std::string &name,
+                                         unsigned footprint_scale);
+
+} // namespace pipm
+
+#endif // PIPM_WORKLOADS_CATALOG_HH

@@ -1,0 +1,186 @@
+#include "workloads/synthetic.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+SyntheticWorkload::SyntheticWorkload(const PatternParams &params,
+                                     unsigned footprint_scale)
+    : params_(params),
+      sharedBytes_(params.footprintFullBytes / footprint_scale),
+      privateBytes_(params.privateFullBytes / footprint_scale)
+{
+    fatal_if(footprint_scale == 0, "footprint scale must be positive");
+    fatal_if(sharedBytes_ < pageBytes, "scaled shared heap below one page");
+    privateBytes_ = std::max<std::uint64_t>(privateBytes_, 16 * pageBytes);
+}
+
+std::string
+SyntheticWorkload::fingerprint() const
+{
+    std::ostringstream os;
+    const PatternParams &p = params_;
+    os << p.name << ';' << sharedBytes_ << ';' << privateBytes_ << ';'
+       << p.partitionAffinity << ';' << p.zipfTheta << ';' << p.readFrac
+       << ';' << p.seqRunLines << ';' << p.gapMean << ';' << p.privateFrac
+       << ';' << p.globalHotFrac << ';' << p.globalHotSpan << ';'
+       << p.scanFrac << ';' << p.scanSpanFrac << ';' << p.scanShiftFrac
+       << ';' << p.phaseRefs << ';' << p.hotLinesPerPage;
+    return os.str();
+}
+
+std::unique_ptr<CoreTrace>
+SyntheticWorkload::makeTrace(HostId host, CoreId core,
+                             unsigned cores_per_host, unsigned num_hosts,
+                             std::uint64_t seed) const
+{
+    return std::make_unique<SyntheticTrace>(params_, sharedBytes_,
+                                            privateBytes_, host, core,
+                                            cores_per_host, num_hosts,
+                                            seed);
+}
+
+SyntheticTrace::SyntheticTrace(const PatternParams &params,
+                               std::uint64_t shared_bytes,
+                               std::uint64_t private_bytes, HostId host,
+                               CoreId core, unsigned cores_per_host,
+                               unsigned num_hosts, std::uint64_t seed)
+    : params_(params),
+      rng_(seed ^ (0x1234567ull * (host * cores_per_host + core + 1))),
+      host_(host),
+      numHosts_(num_hosts),
+      sharedPages_(shared_bytes / pageBytes),
+      partitionPages_(std::max<std::uint64_t>(1,
+                                              sharedPages_ / num_hosts)),
+      privatePages_(private_bytes / pageBytes),
+      hotPages_(std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(
+                 static_cast<double>(sharedPages_) *
+                 params.globalHotSpan))),
+      zipf_(partitionPages_, params.zipfTheta)
+{
+    // The scan region sits at the front of the host's partition; a host's
+    // cores start at staggered offsets so their misses interleave the way
+    // chunked parallel loops do.
+    scanBase_ = static_cast<std::uint64_t>(host) * partitionPages_;
+    scanPages_ = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(static_cast<double>(partitionPages_) *
+                                      params.scanSpanFrac));
+    windowStart_ = 0;
+    scanPage_ = (scanPages_ * core) / std::max(1u, cores_per_host);
+    scanLine_ = 0;
+    newRun();
+}
+
+void
+SyntheticTrace::newRun()
+{
+    // Choose the region: globally-hot pages, own partition, or another
+    // host's partition.
+    std::uint64_t page;
+    if (rng_.chance(params_.globalHotFrac)) {
+        // The globally-hot region sits at the front of the heap and is
+        // touched uniformly by every host.
+        page = rng_.below(hotPages_);
+    } else {
+        unsigned part;
+        std::uint64_t idx;
+        if (rng_.chance(params_.partitionAffinity) || numHosts_ == 1) {
+            // Own partition: zipf-skewed; the permutation rotates with
+            // the phase so hot-page identity drifts over time.
+            part = host_;
+            const std::uint64_t rank = zipf_.sample(rng_);
+            idx = (rank + phase_ * 7919) % partitionPages_;
+        } else {
+            // Another host's partition: a stranger's touches are not
+            // correlated with that host's own hot set, so they spread
+            // uniformly (cross-host contention is carried by the
+            // globally-hot region instead).
+            part = static_cast<unsigned>(rng_.below(numHosts_ - 1));
+            if (part >= host_)
+                ++part;
+            idx = rng_.below(partitionPages_);
+        }
+        page = static_cast<std::uint64_t>(part) * partitionPages_ + idx;
+        if (page >= sharedPages_)
+            page = sharedPages_ - 1;
+    }
+    runPage_ = page;
+    if (params_.hotLinesPerPage > 0 &&
+        params_.hotLinesPerPage < linesPerPage) {
+        // Touch one of the page's hot lines (a record/vertex slot whose
+        // position is a deterministic function of the page).
+        const unsigned slot = static_cast<unsigned>(
+            rng_.below(params_.hotLinesPerPage));
+        runLine_ = static_cast<unsigned>(
+            (page * 0x9e3779b97f4a7c15ull + slot * 13) % linesPerPage);
+    } else {
+        runLine_ = static_cast<unsigned>(rng_.below(linesPerPage));
+    }
+    // Geometric-ish run length around the configured mean.
+    runLeft_ = 1 + static_cast<unsigned>(
+                       rng_.below(2 * params_.seqRunLines));
+}
+
+MemRef
+SyntheticTrace::next()
+{
+    MemRef ref;
+    ref.gap = static_cast<std::uint16_t>(
+        params_.gapMean / 2 + rng_.below(params_.gapMean + 1));
+    ref.op = rng_.chance(params_.readFrac) ? MemOp::read : MemOp::write;
+
+    if (rng_.chance(params_.privateFrac)) {
+        // Private data: small working set, high cache-hit rate.
+        ref.shared = false;
+        ref.page = rng_.below(privatePages_);
+        ref.lineIdx = static_cast<std::uint8_t>(rng_.below(linesPerPage));
+        return ref;
+    }
+
+    ref.shared = true;
+    ++sharedRefs_;
+    if (params_.phaseRefs && sharedRefs_ % params_.phaseRefs == 0)
+        ++phase_;
+    if (rng_.chance(params_.scanFrac)) {
+        // Cyclic pass over the host's current scan window; the window
+        // slides after each pass (frontier drift).
+        ref.page = scanBase_ +
+                   (windowStart_ + scanPage_) % partitionPages_;
+        ref.lineIdx = static_cast<std::uint8_t>(scanLine_);
+        if (++scanLine_ >= linesPerPage) {
+            scanLine_ = 0;
+            if (++scanPage_ >= scanPages_) {
+                scanPage_ = 0;
+                windowStart_ =
+                    (windowStart_ +
+                     static_cast<std::uint64_t>(
+                         static_cast<double>(scanPages_) *
+                         params_.scanShiftFrac)) %
+                    partitionPages_;
+            }
+        }
+        return ref;
+    }
+    ref.page = runPage_;
+    ref.lineIdx = static_cast<std::uint8_t>(runLine_);
+
+    // Advance the sequential run.
+    if (runLeft_ > 0) {
+        --runLeft_;
+        if (++runLine_ >= linesPerPage) {
+            runLine_ = 0;
+            if (runPage_ + 1 < sharedPages_)
+                ++runPage_;
+        }
+    }
+    if (runLeft_ == 0)
+        newRun();
+    return ref;
+}
+
+} // namespace pipm

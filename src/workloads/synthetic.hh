@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Parameterised synthetic workload model.
+ *
+ * Each Table 1 benchmark is expressed as a set of access-pattern
+ * parameters (see catalog.cc for the per-benchmark values and the
+ * rationale): the shared heap is partitioned across hosts; every
+ * reference picks its own partition with probability `partitionAffinity`
+ * (else a uniformly random other partition), then a page within the
+ * region by a zipf draw (hot-set skew), then either continues a
+ * sequential line run (spatial locality) or jumps. Reads/writes and
+ * compute gaps follow the benchmark's mix. A fraction of references goes
+ * to host-private data (code/stack/locals), which mostly cache-hits and
+ * sets the compute baseline.
+ *
+ * These are the knobs that determine everything a migration policy can
+ * observe — which host touches which page how often, with what reuse and
+ * what spatial density — which is why a parameterised model can stand in
+ * for Pin traces in this study (DESIGN.md §1).
+ */
+
+#ifndef PIPM_WORKLOADS_SYNTHETIC_HH
+#define PIPM_WORKLOADS_SYNTHETIC_HH
+
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** Access-pattern parameters of one benchmark. */
+struct PatternParams
+{
+    const char *name = "";
+    const char *suite = "";
+    std::uint64_t footprintFullBytes = 0;   ///< Table 1 column 3
+    std::uint64_t privateFullBytes = 32ull << 20;
+
+    /** Probability a shared reference targets the host's own partition. */
+    double partitionAffinity = 0.85;
+    /** Zipf skew over the pages of the chosen partition. */
+    double zipfTheta = 0.7;
+    /** Probability a reference is a read. */
+    double readFrac = 0.8;
+    /** Mean sequential run length in lines (1 = fully random). */
+    unsigned seqRunLines = 8;
+    /** Mean non-memory instructions between references. */
+    unsigned gapMean = 8;
+    /** Fraction of references to private data. */
+    double privateFrac = 0.25;
+    /**
+     * Fraction of shared references that target a small globally-hot
+     * region accessed uniformly by all hosts (graph hubs, cluster
+     * centres, B-tree roots). These are the pages a side-effect-blind
+     * policy migrates harmfully.
+     */
+    double globalHotFrac = 0.05;
+    /** Size of that globally-hot region as a fraction of the heap. */
+    double globalHotSpan = 0.002;
+    /**
+     * Fraction of shared references issued by a cyclic sequential scan of
+     * the host's own partition (graph-iteration / streaming passes). Scan
+     * reuse distance always exceeds the LLC, so every pass re-misses —
+     * the access pattern that rewards keeping data in local DRAM.
+     */
+    double scanFrac = 0.0;
+    /** Fraction of the partition covered by the scan region. */
+    double scanSpanFrac = 0.25;
+    /**
+     * Hot-set drift. Real workloads' hot sets move: graph frontiers
+     * advance, phases change, OLTP key popularity shifts. Epoch-based OS
+     * policies chronically chase yesterday's hot pages; access-driven
+     * policies keep up. scanShiftFrac slides the scan window by this
+     * fraction of its size after each completed pass; phaseRefs rotates
+     * the zipf rank->page permutation after this many shared references
+     * (0 = stationary).
+     */
+    double scanShiftFrac = 0.3;
+    std::uint64_t phaseRefs = 0;
+    /**
+     * Line-granular hotness: number of hot lines per zipf-selected page
+     * (0 = all 64 lines uniformly). Real records/vertices occupy a few
+     * lines of their page, so page-level hotness concentrates on a small
+     * per-page line subset — exactly the pattern where whole-page
+     * migration wastes transfer and local capacity and PIPM's partial
+     * migration pays off (§4.1 "single-destination and rigid per-page
+     * migration").
+     */
+    unsigned hotLinesPerPage = 0;
+};
+
+/** A Workload built from PatternParams. */
+class SyntheticWorkload : public Workload
+{
+  public:
+    /**
+     * @param params pattern description
+     * @param footprint_scale divisor applied to Table 1 footprints
+     *        (must match SystemConfig::footprintScale)
+     */
+    SyntheticWorkload(const PatternParams &params, unsigned footprint_scale);
+
+    std::string name() const override { return params_.name; }
+    std::string suite() const override { return params_.suite; }
+    std::uint64_t footprintBytes() const override
+    {
+        return params_.footprintFullBytes;
+    }
+    std::uint64_t sharedBytes() const override { return sharedBytes_; }
+    std::uint64_t privateBytesPerHost() const override
+    {
+        return privateBytes_;
+    }
+
+    std::unique_ptr<CoreTrace> makeTrace(HostId host, CoreId core,
+                                         unsigned cores_per_host,
+                                         unsigned num_hosts,
+                                         std::uint64_t seed) const override;
+
+    std::string fingerprint() const override;
+
+    const PatternParams &params() const { return params_; }
+
+  private:
+    PatternParams params_;
+    std::uint64_t sharedBytes_;
+    std::uint64_t privateBytes_;
+};
+
+/** The reference stream of one core of a SyntheticWorkload. */
+class SyntheticTrace : public CoreTrace
+{
+  public:
+    SyntheticTrace(const PatternParams &params, std::uint64_t shared_bytes,
+                   std::uint64_t private_bytes, HostId host, CoreId core,
+                   unsigned cores_per_host, unsigned num_hosts,
+                   std::uint64_t seed);
+
+    MemRef next() override;
+
+  private:
+    /** Start a new access run (choose region, page, line). */
+    void newRun();
+
+    PatternParams params_;
+    Rng rng_;
+    HostId host_;
+    unsigned numHosts_;
+    std::uint64_t sharedPages_;
+    std::uint64_t partitionPages_;
+    std::uint64_t privatePages_;
+    std::uint64_t hotPages_;
+    ZipfSampler zipf_;
+
+    // Current sequential run state.
+    std::uint64_t runPage_ = 0;
+    unsigned runLine_ = 0;
+    unsigned runLeft_ = 0;
+
+    // Cyclic partition-scan state.
+    std::uint64_t scanBase_ = 0;    ///< first page of the host's partition
+    std::uint64_t scanPages_ = 0;   ///< pages in the scan window
+    std::uint64_t windowStart_ = 0; ///< window offset within the partition
+    std::uint64_t scanPage_ = 0;    ///< cursor within the window
+    unsigned scanLine_ = 0;
+
+    // Hot-set drift state.
+    std::uint64_t sharedRefs_ = 0;
+    std::uint64_t phase_ = 0;
+};
+
+} // namespace pipm
+
+#endif // PIPM_WORKLOADS_SYNTHETIC_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Trace file support: record any workload's per-core reference streams
+ * to disk and replay them later, mirroring the paper's trace-driven
+ * methodology (§5.1.2, Pin traces replayed through the simulator).
+ *
+ * A trace set is a directory containing `meta.txt` (name, footprints,
+ * geometry) plus one binary file per core (`trace_h<H>_c<C>.bin`). Each
+ * reference packs into one little-endian 64-bit word:
+ *
+ *   bits  0..39  page index            (40 bits)
+ *   bits 40..45  line within the page  (6 bits)
+ *   bit  46      shared (1) / private (0)
+ *   bit  47      write (1) / read (0)
+ *   bits 48..63  non-memory gap        (16 bits)
+ *
+ * Replay loops the file when the stream is exhausted (runner streams are
+ * infinite), counting wraps so tools can report coverage.
+ */
+
+#ifndef PIPM_WORKLOADS_TRACE_FILE_HH
+#define PIPM_WORKLOADS_TRACE_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** Pack one reference into its on-disk word. */
+std::uint64_t packMemRef(const MemRef &ref);
+
+/** Unpack an on-disk word. */
+MemRef unpackMemRef(std::uint64_t word);
+
+/**
+ * Record a workload's traces to a directory.
+ * @param workload source workload
+ * @param dir output directory (created if missing)
+ * @param refs_per_core references recorded per core
+ * @param num_hosts / cores_per_host trace-set geometry
+ * @param seed generator seed
+ */
+void recordTraces(const Workload &workload, const std::string &dir,
+                  std::uint64_t refs_per_core, unsigned num_hosts,
+                  unsigned cores_per_host, std::uint64_t seed);
+
+/** A workload backed by recorded trace files. */
+class TraceFileWorkload : public Workload
+{
+  public:
+    /** @param dir a directory produced by recordTraces() */
+    explicit TraceFileWorkload(std::string dir);
+
+    std::string name() const override { return name_; }
+    std::string suite() const override { return "trace"; }
+    std::uint64_t footprintBytes() const override { return footprint_; }
+    std::uint64_t sharedBytes() const override { return sharedBytes_; }
+    std::uint64_t privateBytesPerHost() const override
+    {
+        return privateBytes_;
+    }
+    std::string fingerprint() const override;
+
+    std::unique_ptr<CoreTrace> makeTrace(HostId host, CoreId core,
+                                         unsigned cores_per_host,
+                                         unsigned num_hosts,
+                                         std::uint64_t seed) const override;
+
+    unsigned recordedHosts() const { return numHosts_; }
+    unsigned recordedCoresPerHost() const { return coresPerHost_; }
+    std::uint64_t refsPerCore() const { return refsPerCore_; }
+
+  private:
+    std::string dir_;
+    std::string name_;
+    std::uint64_t footprint_ = 0;
+    std::uint64_t sharedBytes_ = 0;
+    std::uint64_t privateBytes_ = 0;
+    unsigned numHosts_ = 0;
+    unsigned coresPerHost_ = 0;
+    std::uint64_t refsPerCore_ = 0;
+};
+
+/** Replays one core's recorded file, looping at the end. */
+class FileTrace : public CoreTrace
+{
+  public:
+    /** @param path the core's .bin file */
+    explicit FileTrace(const std::string &path);
+
+    MemRef next() override;
+
+    /** Times the stream wrapped back to the beginning. */
+    std::uint64_t wraps() const { return wraps_; }
+
+  private:
+    std::vector<std::uint64_t> words_;
+    std::size_t cursor_ = 0;
+    std::uint64_t wraps_ = 0;
+};
+
+} // namespace pipm
+
+#endif // PIPM_WORKLOADS_TRACE_FILE_HH

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the set-associative array and replacement policies.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cache/set_assoc.hh"
+#include "common/logging.hh"
+
+namespace pipm
+{
+namespace
+{
+
+struct Payload
+{
+    int v = 0;
+};
+
+TEST(SetAssoc, InsertThenLookup)
+{
+    SetAssoc<Payload> cache(4, 2);
+    EXPECT_EQ(cache.lookup(10), nullptr);
+    EXPECT_FALSE(cache.insert(10, Payload{7}));
+    ASSERT_NE(cache.lookup(10), nullptr);
+    EXPECT_EQ(cache.lookup(10)->v, 7);
+    EXPECT_EQ(cache.occupancy(), 1u);
+}
+
+TEST(SetAssoc, LruEvictsLeastRecentlyUsed)
+{
+    // Single set, 2 ways: the untouched key is the victim.
+    SetAssoc<Payload> cache(1, 2);
+    cache.insert(1, Payload{1});
+    cache.insert(2, Payload{2});
+    cache.lookup(1);   // make key 2 the LRU
+    auto evicted = cache.insert(3, Payload{3});
+    ASSERT_TRUE(evicted);
+    EXPECT_EQ(evicted->key, 2u);
+    EXPECT_NE(cache.lookup(1), nullptr);
+    EXPECT_NE(cache.lookup(3), nullptr);
+}
+
+TEST(SetAssoc, InvalidateRemoves)
+{
+    SetAssoc<Payload> cache(4, 2);
+    cache.insert(5, Payload{5});
+    auto out = cache.invalidate(5);
+    ASSERT_TRUE(out);
+    EXPECT_EQ(out->meta.v, 5);
+    EXPECT_EQ(cache.lookup(5), nullptr);
+    EXPECT_FALSE(cache.invalidate(5));
+}
+
+TEST(SetAssoc, ProbeDoesNotTouchReplacementState)
+{
+    SetAssoc<Payload> cache(1, 2);
+    cache.insert(1, Payload{});
+    cache.insert(2, Payload{});
+    cache.probe(1);   // must NOT refresh key 1
+    auto evicted = cache.insert(3, Payload{});
+    ASSERT_TRUE(evicted);
+    EXPECT_EQ(evicted->key, 1u);
+}
+
+TEST(SetAssoc, CapacityNeverExceeded)
+{
+    SetAssoc<Payload> cache(8, 4);
+    for (std::uint64_t k = 0; k < 1000; ++k) {
+        if (!cache.probe(k))
+            cache.insert(k, Payload{});
+    }
+    EXPECT_LE(cache.occupancy(), cache.capacity());
+    EXPECT_EQ(cache.capacity(), 32u);
+}
+
+TEST(SetAssoc, DuplicateInsertPanics)
+{
+    detail::throwOnError = true;
+    SetAssoc<Payload> cache(4, 2);
+    cache.insert(9, Payload{});
+    EXPECT_THROW(cache.insert(9, Payload{}), SimError);
+    detail::throwOnError = false;
+}
+
+TEST(SetAssoc, ForEachVisitsAllValidEntries)
+{
+    SetAssoc<Payload> cache(8, 2);
+    for (int k = 0; k < 10; ++k)
+        cache.insert(k, Payload{k});
+    std::set<std::uint64_t> keys;
+    cache.forEach([&keys](const SetAssoc<Payload>::Entry &e) {
+        keys.insert(e.key);
+    });
+    EXPECT_EQ(keys.size(), cache.occupancy());
+}
+
+TEST(SetAssoc, ClearEmptiesEverything)
+{
+    SetAssoc<Payload> cache(8, 2);
+    for (int k = 0; k < 10; ++k)
+        cache.insert(k, Payload{});
+    cache.clear();
+    EXPECT_EQ(cache.occupancy(), 0u);
+}
+
+TEST(SetAssoc, WithCapacityRoundsToPowerOfTwoSets)
+{
+    auto cache = SetAssoc<Payload>::withCapacity(1000, 8);
+    // 1000/8 = 125 sets -> rounded down to 64.
+    EXPECT_EQ(cache.sets(), 64u);
+    EXPECT_EQ(cache.ways(), 8u);
+}
+
+TEST(SetAssoc, RandomPolicyStillBoundsOccupancy)
+{
+    SetAssoc<Payload> cache(4, 4, ReplPolicy::random, 99);
+    for (std::uint64_t k = 0; k < 500; ++k) {
+        if (!cache.probe(k))
+            cache.insert(k, Payload{});
+    }
+    EXPECT_LE(cache.occupancy(), 16u);
+}
+
+TEST(SetAssoc, SrripEvictsSomethingValid)
+{
+    SetAssoc<Payload> cache(1, 4, ReplPolicy::srrip);
+    for (std::uint64_t k = 0; k < 4; ++k)
+        cache.insert(k, Payload{});
+    auto evicted = cache.insert(100, Payload{});
+    ASSERT_TRUE(evicted);
+    EXPECT_LT(evicted->key, 4u);
+    EXPECT_NE(cache.lookup(100), nullptr);
+}
+
+TEST(Replacement, LruVictimIsSmallestStamp)
+{
+    Replacement repl(ReplPolicy::lru);
+    std::vector<ReplWord> words = {5, 2, 9, 3};
+    EXPECT_EQ(repl.victim(words), 1u);
+}
+
+TEST(Replacement, SrripAgesUntilMax)
+{
+    Replacement repl(ReplPolicy::srrip);
+    std::vector<ReplWord> words = {0, 1, 2, 1};
+    const std::size_t v = repl.victim(words);
+    EXPECT_EQ(v, 2u);
+    // The chosen victim's word must have reached srripMax.
+    EXPECT_GE(words[v], srripMax);
+}
+
+TEST(Replacement, OnHitRefreshesLru)
+{
+    Replacement repl(ReplPolicy::lru);
+    EXPECT_EQ(repl.onHit(3, 42), 42u);
+    EXPECT_EQ(repl.onFill(7), 7u);
+}
+
+} // namespace
+} // namespace pipm

@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Unit tests for the common substrate: RNG, zipf sampling, stats,
+ * table printing, logging and configuration validation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <sstream>
+
+#include "common/config.hh"
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/table_printer.hh"
+
+namespace pipm
+{
+namespace
+{
+
+class ThrowOnErrorGuard
+{
+  public:
+    ThrowOnErrorGuard() { detail::throwOnError = true; }
+    ~ThrowOnErrorGuard() { detail::throwOnError = false; }
+};
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(7);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 10000; ++i)
+        seen.insert(rng.range(3, 5));
+    EXPECT_EQ(seen, (std::set<std::uint64_t>{3, 4, 5}));
+}
+
+TEST(Rng, RealInUnitInterval)
+{
+    Rng rng(11);
+    for (int i = 0; i < 10000; ++i) {
+        const double v = rng.real();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, BelowIsRoughlyUniform)
+{
+    Rng rng(13);
+    constexpr int buckets = 8;
+    constexpr int draws = 80000;
+    int counts[buckets] = {};
+    for (int i = 0; i < draws; ++i)
+        ++counts[rng.below(buckets)];
+    for (int c : counts) {
+        EXPECT_GT(c, draws / buckets * 0.9);
+        EXPECT_LT(c, draws / buckets * 1.1);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(17);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += rng.chance(0.3);
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(Zipf, RankZeroIsHottest)
+{
+    Rng rng(3);
+    ZipfSampler zipf(1000, 0.9);
+    std::uint64_t rank0 = 0, rank_tail = 0;
+    for (int i = 0; i < 50000; ++i) {
+        const std::uint64_t r = zipf.sample(rng);
+        ASSERT_LT(r, 1000u);
+        if (r == 0)
+            ++rank0;
+        if (r >= 500)
+            ++rank_tail;
+    }
+    EXPECT_GT(rank0, rank_tail / 4);
+    EXPECT_GT(rank0, 1000u);
+}
+
+TEST(Zipf, HigherThetaConcentratesMass)
+{
+    Rng rng_a(5), rng_b(5);
+    ZipfSampler mild(10000, 0.4), hot(10000, 0.99);
+    std::uint64_t mild_top = 0, hot_top = 0;
+    for (int i = 0; i < 50000; ++i) {
+        mild_top += mild.sample(rng_a) < 100;
+        hot_top += hot.sample(rng_b) < 100;
+    }
+    EXPECT_GT(hot_top, mild_top * 2);
+}
+
+TEST(Stats, CounterAccumulatesAndResets)
+{
+    Counter c;
+    c.inc();
+    c.inc(41);
+    EXPECT_EQ(c.value(), 42u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Stats, AverageComputesMean)
+{
+    Average a;
+    a.sample(1.0);
+    a.sample(3.0);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    EXPECT_EQ(a.count(), 2u);
+    a.reset();
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+}
+
+TEST(Stats, HistogramBucketsAndOverflow)
+{
+    Histogram h(10, 4);
+    h.sample(5);
+    h.sample(25);
+    h.sample(1000);   // overflow bucket
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets()[2], 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    EXPECT_NEAR(h.mean(), (5 + 25 + 1000) / 3.0, 1e-9);
+}
+
+TEST(Stats, GroupDumpContainsNamesAndValues)
+{
+    StatGroup group("grp");
+    Counter c;
+    c.inc(7);
+    group.addCounter(&c, "seven", "a seven");
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("grp.seven 7"), std::string::npos);
+    EXPECT_NE(dump.find("a seven"), std::string::npos);
+    group.resetAll();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(TablePrinter, AlignsColumns)
+{
+    TablePrinter t("demo");
+    t.header({"a", "long_header"});
+    t.row({"xxxx", "y"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("xxxx"), std::string::npos);
+}
+
+TEST(TablePrinter, NumberFormatting)
+{
+    EXPECT_EQ(TablePrinter::num(1.234, 2), "1.23");
+    EXPECT_EQ(TablePrinter::pct(0.5), "50.0%");
+}
+
+TEST(Logging, PanicThrowsUnderTestHook)
+{
+    ThrowOnErrorGuard guard;
+    EXPECT_THROW(panic("boom ", 42), SimError);
+    EXPECT_THROW(fatal("bad user"), SimError);
+}
+
+TEST(Logging, PanicIfOnlyFiresWhenTrue)
+{
+    ThrowOnErrorGuard guard;
+    EXPECT_NO_THROW(panic_if(false, "never"));
+    EXPECT_THROW(panic_if(true, "always"), SimError);
+}
+
+TEST(Config, DefaultIsValidAndMatchesTable2)
+{
+    const SystemConfig cfg = defaultConfig();
+    EXPECT_EQ(cfg.numHosts, 4u);
+    EXPECT_EQ(cfg.coresPerHost, 4u);
+    EXPECT_EQ(cfg.core.robEntries, 224u);
+    EXPECT_EQ(cfg.l1.sizeBytes, 32u * 1024);
+    EXPECT_EQ(cfg.llcPerCore.sizeBytes, 2u * 1024 * 1024);
+    EXPECT_EQ(cfg.pipm.migrationThreshold, 8u);
+    const std::string desc = cfg.describe();
+    EXPECT_NE(desc.find("4 hosts"), std::string::npos);
+    EXPECT_NE(desc.find("224-entry ROB"), std::string::npos);
+}
+
+TEST(Config, AddressMapRegions)
+{
+    const SystemConfig cfg = testConfig();
+    EXPECT_EQ(cfg.regionOf(0), AddrRegion::hostLocal);
+    EXPECT_EQ(cfg.homeHostOf(0), 0);
+    EXPECT_EQ(cfg.homeHostOf(cfg.localBase(1)), 1);
+    EXPECT_EQ(cfg.regionOf(cfg.cxlBase()), AddrRegion::cxlPool);
+    EXPECT_LT(cfg.cxlBase(), cfg.addressSpaceEnd());
+}
+
+TEST(Config, ValidateRejectsBadValues)
+{
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.numHosts = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg = testConfig();
+    cfg.pipm.migrationThreshold = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg = testConfig();
+    cfg.pipm.migrationThreshold = 64;   // does not fit 6-bit counter
+    EXPECT_THROW(cfg.validate(), SimError);
+}
+
+TEST(Config, ScaledEpochAndCosts)
+{
+    SystemConfig cfg = defaultConfig();
+    // 10 ms at 4 GHz is 40M cycles; divided by timeScale.
+    EXPECT_EQ(cfg.osEpochCycles(), nsToCycles(10e6) / cfg.timeScale);
+    EXPECT_EQ(cfg.osPageInitiatorCycles(),
+              nsToCycles(20e3) / cfg.timeScale);
+    EXPECT_GT(cfg.osPageTransferBytes(), 0u);
+}
+
+TEST(Types, AddressHelpers)
+{
+    const PhysAddr pa = (5ull << pageShift) + 3 * lineBytes + 7;
+    EXPECT_EQ(pageOf(pa), 5u);
+    EXPECT_EQ(lineInPage(pa), 3u);
+    EXPECT_EQ(pageBase(5), 5ull << pageShift);
+    EXPECT_EQ(pageOfLine(lineOf(pa)), 5u);
+}
+
+} // namespace
+} // namespace pipm

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Unit tests for harmful-migration accounting (Fig. 5 semantics).
+ */
+
+#include <gtest/gtest.h>
+
+#include "migration/harmful.hh"
+
+namespace pipm
+{
+namespace
+{
+
+// est_local=100, est_cxl=300, est_gim=900, migration cost=1000:
+// each local hit earns +200; each remote access costs -600.
+HarmfulTracker
+makeTracker()
+{
+    return HarmfulTracker(100, 300, 900, 1000);
+}
+
+TEST(Harmful, MigrationWithEnoughLocalHitsIsBeneficial)
+{
+    HarmfulTracker t = makeTracker();
+    t.onMigration(1, 0);
+    for (int i = 0; i < 6; ++i)   // 6 * 200 = 1200 > 1000
+        t.onLocalHit(1);
+    t.finish();
+    EXPECT_EQ(t.totalMigrations(), 1u);
+    EXPECT_EQ(t.harmfulMigrations(), 0u);
+}
+
+TEST(Harmful, MigrationCostAloneMakesIdlePageHarmful)
+{
+    HarmfulTracker t = makeTracker();
+    t.onMigration(1, 0);
+    t.finish();
+    EXPECT_EQ(t.harmfulMigrations(), 1u);
+}
+
+TEST(Harmful, RemoteAccessesOutweighLocalGains)
+{
+    HarmfulTracker t = makeTracker();
+    t.onMigration(1, 0);
+    for (int i = 0; i < 10; ++i)
+        t.onLocalHit(1);        // +2000
+    for (int i = 0; i < 4; ++i)
+        t.onRemoteAccess(1);    // -2400, plus -1000 migration
+    t.finish();
+    EXPECT_EQ(t.harmfulMigrations(), 1u);
+}
+
+TEST(Harmful, DemotionFinalisesTheRecord)
+{
+    HarmfulTracker t = makeTracker();
+    t.onMigration(1, 0);
+    for (int i = 0; i < 6; ++i)
+        t.onLocalHit(1);
+    t.onDemotion(1);
+    EXPECT_EQ(t.totalMigrations(), 1u);
+    EXPECT_EQ(t.harmfulMigrations(), 0u);
+    // Accesses after demotion are ignored.
+    t.onRemoteAccess(1);
+    t.finish();
+    EXPECT_EQ(t.totalMigrations(), 1u);
+}
+
+TEST(Harmful, RemigrationClosesThePreviousRecord)
+{
+    HarmfulTracker t = makeTracker();
+    t.onMigration(1, 0);          // record A: idle -> harmful
+    t.onMigration(1, 1);          // closes A, opens B
+    for (int i = 0; i < 6; ++i)
+        t.onLocalHit(1);          // B beneficial
+    t.finish();
+    EXPECT_EQ(t.totalMigrations(), 2u);
+    EXPECT_EQ(t.harmfulMigrations(), 1u);
+    EXPECT_NEAR(t.harmfulFraction(), 0.5, 1e-9);
+}
+
+TEST(Harmful, UntrackedPagesAreIgnored)
+{
+    HarmfulTracker t = makeTracker();
+    t.onLocalHit(3);
+    t.onRemoteAccess(3);
+    t.onDemotion(3);
+    t.finish();
+    EXPECT_EQ(t.totalMigrations(), 0u);
+    EXPECT_DOUBLE_EQ(t.harmfulFraction(), 0.0);
+}
+
+} // namespace
+} // namespace pipm

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Unit tests for the per-host cache hierarchy (inclusive L1 + LLC with
+ * host-level coherence states).
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.hh"
+#include "common/logging.hh"
+
+namespace pipm
+{
+namespace
+{
+
+class HierarchyTest : public ::testing::Test
+{
+  protected:
+    HierarchyTest() : cfg_(testConfig()), hier_(cfg_, 1) {}
+
+    SystemConfig cfg_;
+    CacheHierarchy hier_;
+};
+
+TEST_F(HierarchyTest, MissThenFillThenL1Hit)
+{
+    EXPECT_EQ(hier_.lookup(0, 100).level, HitLevel::miss);
+    hier_.fill(0, 100, HostState::S, false, 42);
+    const auto r = hier_.lookup(0, 100);
+    EXPECT_EQ(r.level, HitLevel::l1);
+    EXPECT_EQ(r.state, HostState::S);
+    EXPECT_EQ(hier_.dataOf(100), 42u);
+}
+
+TEST_F(HierarchyTest, LlcHitAfterL1Eviction)
+{
+    hier_.fill(0, 100, HostState::M, false, 1);
+    // Evict line 100 from the tiny L1 by filling conflicting lines; the
+    // LLC keeps it (inclusive).
+    for (LineAddr l = 1000; l < 1200; ++l)
+        hier_.fill(0, l, HostState::M, false, 0);
+    const auto r = hier_.lookup(0, 100);
+    EXPECT_NE(r.level, HitLevel::miss);
+}
+
+TEST_F(HierarchyTest, RecordWriteMarksDirtyAndUpdatesData)
+{
+    hier_.fill(0, 7, HostState::M, false, 5);
+    hier_.recordWrite(0, 7, 99);
+    auto ev = hier_.invalidateLine(7);
+    ASSERT_TRUE(ev);
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_EQ(ev->data, 99u);
+}
+
+TEST_F(HierarchyTest, WriteToSharedStatePanics)
+{
+    detail::throwOnError = true;
+    hier_.fill(0, 7, HostState::S, false, 5);
+    EXPECT_THROW(hier_.recordWrite(0, 7, 1), SimError);
+    detail::throwOnError = false;
+}
+
+TEST_F(HierarchyTest, SetStateTransitions)
+{
+    hier_.fill(0, 7, HostState::M, false, 5);
+    hier_.setState(7, HostState::S);
+    EXPECT_EQ(hier_.stateOf(7), HostState::S);
+    EXPECT_EQ(hier_.stateOf(8), HostState::I);
+}
+
+TEST_F(HierarchyTest, InvalidateReturnsContent)
+{
+    hier_.fill(0, 7, HostState::ME, true, 123);
+    auto ev = hier_.invalidateLine(7);
+    ASSERT_TRUE(ev);
+    EXPECT_EQ(ev->state, HostState::ME);
+    EXPECT_TRUE(ev->dirty);
+    EXPECT_EQ(ev->data, 123u);
+    EXPECT_EQ(hier_.stateOf(7), HostState::I);
+    EXPECT_FALSE(hier_.invalidateLine(7));
+}
+
+TEST_F(HierarchyTest, CapacityEvictionsSurface)
+{
+    bool evicted_any = false;
+    // Overfill the LLC (64KB per core at scale = tiny in testConfig).
+    for (LineAddr l = 0; l < 100000; ++l) {
+        auto ev = hier_.fill(0, l, HostState::M, false, 0);
+        if (ev) {
+            evicted_any = true;
+            EXPECT_LT(ev->line, 100000u);
+        }
+    }
+    EXPECT_TRUE(evicted_any);
+    EXPECT_GT(hier_.llcEvictions.value(), 0u);
+}
+
+TEST_F(HierarchyTest, MarkCleanClearsDirty)
+{
+    hier_.fill(0, 7, HostState::M, true, 5);
+    hier_.markClean(7);
+    auto ev = hier_.invalidateLine(7);
+    ASSERT_TRUE(ev);
+    EXPECT_FALSE(ev->dirty);
+}
+
+TEST_F(HierarchyTest, FlushAllReturnsEverythingAndEmpties)
+{
+    for (LineAddr l = 0; l < 20; ++l)
+        hier_.fill(0, l, HostState::M, true, l);
+    auto all = hier_.flushAll();
+    EXPECT_EQ(all.size(), 20u);
+    for (LineAddr l = 0; l < 20; ++l)
+        EXPECT_EQ(hier_.stateOf(l), HostState::I);
+}
+
+TEST_F(HierarchyTest, StatsCountHitsAndMisses)
+{
+    hier_.lookup(0, 1);   // miss
+    hier_.fill(0, 1, HostState::S, false, 0);
+    hier_.lookup(0, 1);   // L1 hit
+    EXPECT_EQ(hier_.misses.value(), 1u);
+    EXPECT_EQ(hier_.l1Hits.value(), 1u);
+}
+
+class MultiCoreHierarchyTest : public ::testing::Test
+{
+  protected:
+    MultiCoreHierarchyTest() : cfg_(makeCfg()), hier_(cfg_, 1) {}
+
+    static SystemConfig
+    makeCfg()
+    {
+        SystemConfig cfg = testConfig();
+        cfg.coresPerHost = 2;
+        return cfg;
+    }
+
+    SystemConfig cfg_;
+    CacheHierarchy hier_;
+};
+
+TEST_F(MultiCoreHierarchyTest, WriteInvalidatesOtherCoresL1)
+{
+    hier_.fill(0, 5, HostState::M, false, 1);
+    hier_.fill(1, 5, HostState::M, false, 1);
+    EXPECT_EQ(hier_.lookup(1, 5).level, HitLevel::l1);
+    hier_.recordWrite(0, 5, 2);
+    // Core 1's L1 copy must be gone; the LLC still has the line.
+    EXPECT_EQ(hier_.lookup(1, 5).level, HitLevel::llc);
+    EXPECT_EQ(hier_.dataOf(5), 2u);
+}
+
+TEST_F(MultiCoreHierarchyTest, SharedLlcServesBothCores)
+{
+    hier_.fill(0, 5, HostState::S, false, 9);
+    const auto r = hier_.lookup(1, 5);
+    EXPECT_EQ(r.level, HitLevel::llc);
+}
+
+} // namespace
+} // namespace pipm

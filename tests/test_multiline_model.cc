@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Tests for the two-line page model: page-level promotion/revocation
+ * coupling across lines, per-line independence, exhaustive checking,
+ * and random-walk fuzzing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "verify/multiline_model.hh"
+
+namespace pipm
+{
+namespace
+{
+
+TEST(MultiLineModel, InitialStateIsClean)
+{
+    MultiLineModel model(2);
+    EXPECT_TRUE(model.checkInvariants(model.initial()).empty());
+}
+
+TEST(MultiLineModel, LinesMigrateIndependently)
+{
+    MultiLineModel model(2);
+    PageProtoState s = model.initial();
+    s = model.apply(s, ProtoEvent::promote, 0, 0);
+    // Line 0 migrates; line 1 stays in CXL memory.
+    s = model.apply(s, ProtoEvent::write, 0, 0);
+    s = model.apply(s, ProtoEvent::evict, 0, 0);
+    EXPECT_TRUE(s.line[0].lineMigrated);
+    EXPECT_FALSE(s.line[1].lineMigrated);
+    EXPECT_TRUE(s.line[1].memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(MultiLineModel, RevocationMovesEveryMigratedLineBack)
+{
+    MultiLineModel model(2);
+    PageProtoState s = model.initial();
+    s = model.apply(s, ProtoEvent::promote, 0, 0);
+    for (unsigned li = 0; li < 2; ++li) {
+        s = model.apply(s, ProtoEvent::write, 0, li);
+        s = model.apply(s, ProtoEvent::evict, 0, li);
+    }
+    ASSERT_TRUE(s.line[0].lineMigrated);
+    ASSERT_TRUE(s.line[1].lineMigrated);
+
+    s = model.apply(s, ProtoEvent::revoke, 0, 0);
+    EXPECT_EQ(s.promotedTo, invalidHost);
+    EXPECT_FALSE(s.line[0].lineMigrated);
+    EXPECT_FALSE(s.line[1].lineMigrated);
+    EXPECT_TRUE(s.line[0].memLatest);
+    EXPECT_TRUE(s.line[1].memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(MultiLineModel, RevocationPullsMeLinesThroughTheCache)
+{
+    MultiLineModel model(2);
+    PageProtoState s = model.initial();
+    s = model.apply(s, ProtoEvent::promote, 0, 0);
+    s = model.apply(s, ProtoEvent::write, 0, 0);
+    s = model.apply(s, ProtoEvent::evict, 0, 0);
+    s = model.apply(s, ProtoEvent::read, 0, 0);   // ME on line 0
+    ASSERT_EQ(s.line[0].host[0].cache, HostState::ME);
+
+    s = model.apply(s, ProtoEvent::revoke, 0, 0);
+    EXPECT_EQ(s.line[0].host[0].cache, HostState::I);
+    EXPECT_TRUE(s.line[0].memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(MultiLineModel, InterHostPullOnOneLineKeepsTheOtherMigrated)
+{
+    MultiLineModel model(2);
+    PageProtoState s = model.initial();
+    s = model.apply(s, ProtoEvent::promote, 0, 0);
+    for (unsigned li = 0; li < 2; ++li) {
+        s = model.apply(s, ProtoEvent::write, 0, li);
+        s = model.apply(s, ProtoEvent::evict, 0, li);
+    }
+    s = model.apply(s, ProtoEvent::read, 1, 0);   // case 2 on line 0
+    EXPECT_FALSE(s.line[0].lineMigrated);
+    EXPECT_TRUE(s.line[1].lineMigrated);          // partial migration!
+    EXPECT_EQ(s.promotedTo, 0);                   // entry persists
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(MultiLineModel, PageEventsExpandOnlyOnce)
+{
+    MultiLineModel model(2);
+    const PageProtoState s = model.initial();
+    EXPECT_TRUE(model.enabled(s, ProtoEvent::promote, 0, 0));
+    EXPECT_FALSE(model.enabled(s, ProtoEvent::promote, 0, 1));
+}
+
+TEST(MultiLineChecker, TwoHostsExhaustivelySafe)
+{
+    const CheckResult result = checkMultiLineProtocol(2);
+    EXPECT_TRUE(result.ok) << result.violation;
+    // Strictly more behaviour than the single-line space.
+    EXPECT_GT(result.statesExplored, 100u);
+}
+
+TEST(MultiLineChecker, ThreeHostsExhaustivelySafe)
+{
+    const CheckResult result = checkMultiLineProtocol(3);
+    EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(MultiLineModel, RandomWalkFuzz)
+{
+    MultiLineModel model(3);
+    Rng rng(71);
+    for (int trial = 0; trial < 5; ++trial) {
+        PageProtoState s = model.initial();
+        for (int step = 0; step < 3000; ++step) {
+            // Pick a random enabled transition.
+            for (int attempts = 0; attempts < 64; ++attempts) {
+                const ProtoEvent e =
+                    allProtoEvents[rng.below(allProtoEvents.size())];
+                const auto h = static_cast<HostId>(rng.below(3));
+                const auto li = static_cast<unsigned>(rng.below(2));
+                if (model.enabled(s, e, h, li)) {
+                    s = model.apply(s, e, h, li);
+                    break;
+                }
+            }
+            const std::string why = model.checkInvariants(s);
+            ASSERT_TRUE(why.empty())
+                << why << "\n" << s.describe(3) << " (step " << step
+                << ")";
+        }
+    }
+}
+
+} // namespace
+} // namespace pipm

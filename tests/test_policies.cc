@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the OS migration policies: Nomad (recency), Memtis
+ * (frequency + budget), HeMem (threshold) and OS-skew (majority vote).
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "migration/hemem.hh"
+#include "migration/memtis.hh"
+#include "migration/nomad.hh"
+#include "migration/os_skew.hh"
+
+namespace pipm
+{
+namespace
+{
+
+constexpr std::uint64_t pages = 64;
+constexpr unsigned hosts = 2;
+
+EpochContext
+ctxOf(std::uint64_t budget = 32, unsigned cap = 16, unsigned hot = 8)
+{
+    EpochContext ctx;
+    ctx.sharedPages = pages;
+    ctx.numHosts = hosts;
+    ctx.localBudgetPages = budget;
+    ctx.maxPagesPerEpoch = cap;
+    ctx.hotThreshold = hot;
+    ctx.usedFramesPerHost.assign(hosts, 0);
+    return ctx;
+}
+
+std::vector<HostId>
+noneMigrated()
+{
+    return std::vector<HostId>(pages, invalidHost);
+}
+
+bool
+plansPromotion(const EpochPlan &plan, std::uint64_t page, HostId target)
+{
+    return std::any_of(plan.promotions.begin(), plan.promotions.end(),
+                       [&](const Promotion &p) {
+                           return p.sharedIdx == page &&
+                                  p.target == target;
+                       });
+}
+
+TEST(EpochCounts, RecordsAndRolls)
+{
+    EpochCounts counts(pages, hosts);
+    counts.record(3, 0);
+    counts.record(3, 0);
+    counts.record(3, 1);
+    EXPECT_EQ(counts.count(3, 0), 2u);
+    EXPECT_EQ(counts.total(3), 3u);
+    EXPECT_EQ(counts.dominant(3), 0);
+    EXPECT_EQ(counts.touched().size(), 1u);
+    counts.rollEpoch();
+    EXPECT_EQ(counts.count(3, 0), 0u);
+    EXPECT_TRUE(counts.touched().empty());
+}
+
+TEST(Nomad, PromotesOnSecondConsecutiveEpoch)
+{
+    NomadPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+
+    for (int i = 0; i < 6; ++i)
+        policy.recordAccess(5, 0);
+    EpochPlan first = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(first.promotions.empty());   // first epoch: not yet
+
+    for (int i = 0; i < 6; ++i)
+        policy.recordAccess(5, 0);
+    EpochPlan second = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plansPromotion(second, 5, 0));
+}
+
+TEST(Nomad, IncidentalTouchesDoNotPromote)
+{
+    NomadPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    policy.recordAccess(5, 0);
+    policy.epoch(ctxOf(), migrated);
+    policy.recordAccess(5, 0);   // below the hint-fault rate limit
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plan.promotions.empty());
+}
+
+TEST(Nomad, DemotesAfterIdleEpochs)
+{
+    NomadPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 6; ++i)
+        policy.recordAccess(5, 0);
+    policy.epoch(ctxOf(), migrated);
+    for (int i = 0; i < 6; ++i)
+        policy.recordAccess(5, 0);
+    policy.epoch(ctxOf(), migrated);
+    migrated[5] = 0;   // the system executed the promotion
+    // Four epochs with no access to page 5.
+    policy.epoch(ctxOf(), migrated);
+    policy.epoch(ctxOf(), migrated);
+    policy.epoch(ctxOf(), migrated);
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_EQ(std::count(plan.demotions.begin(), plan.demotions.end(),
+                         5ull),
+              1);
+}
+
+TEST(Nomad, RespectsBudget)
+{
+    NomadPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    for (std::uint64_t p = 0; p < 32; ++p)
+        policy.recordAccess(p, 0);
+    policy.epoch(ctxOf(/*budget=*/4, /*cap=*/64), migrated);
+    for (std::uint64_t p = 0; p < 32; ++p)
+        policy.recordAccess(p, 0);
+    EpochPlan plan = policy.epoch(ctxOf(4, 64), migrated);
+    EXPECT_LE(plan.promotions.size(), 4u);
+}
+
+TEST(Memtis, RanksHotterPagesFirstUnderBatchCap)
+{
+    MemtisPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 50; ++i)
+        policy.recordAccess(1, 0);
+    for (int i = 0; i < 5; ++i)
+        policy.recordAccess(2, 0);
+    EpochPlan plan = policy.epoch(ctxOf(32, /*cap=*/1), migrated);
+    ASSERT_EQ(plan.promotions.size(), 1u);
+    EXPECT_EQ(plan.promotions[0].sharedIdx, 1u);
+}
+
+TEST(Memtis, TargetsDominantHost)
+{
+    MemtisPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 10; ++i)
+        policy.recordAccess(4, 1);
+    policy.recordAccess(4, 0);
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plansPromotion(plan, 4, 1));
+}
+
+TEST(Memtis, DemotesColdPagesUnderPressure)
+{
+    MemtisPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    // Budget 4, all used by host 0; page 9 resident but cold.
+    for (std::uint64_t p = 9; p < 13; ++p)
+        migrated[p] = 0;
+    EpochContext ctx = ctxOf(/*budget=*/4, /*cap=*/16);
+    ctx.usedFramesPerHost[0] = 4;
+    policy.recordAccess(20, 0);
+    EpochPlan plan = policy.epoch(ctx, migrated);
+    EXPECT_FALSE(plan.demotions.empty());
+}
+
+TEST(Hemem, PromotesAboveSampledThreshold)
+{
+    HememPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    // HeMem samples one in eight accesses, so crossing an effective
+    // threshold of `hot` needs ~8*hot raw accesses.
+    for (int i = 0; i < 8 * 8 + 8; ++i)
+        policy.recordAccess(6, 1);
+    EpochPlan plan = policy.epoch(ctxOf(32, 16, /*hot=*/8), migrated);
+    EXPECT_TRUE(plansPromotion(plan, 6, 1));
+}
+
+TEST(Hemem, IgnoresColdPages)
+{
+    HememPolicy policy(pages, hosts);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 8; ++i)
+        policy.recordAccess(6, 1);   // ~1 sampled access
+    EpochPlan plan = policy.epoch(ctxOf(32, 16, 8), migrated);
+    EXPECT_TRUE(plan.promotions.empty());
+}
+
+TEST(OsSkew, FiresLikeTheHardwareVote)
+{
+    OsSkewPolicy policy(pages, hosts, /*threshold=*/8);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 8; ++i)
+        policy.recordAccess(3, 0);
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plansPromotion(plan, 3, 0));
+}
+
+TEST(OsSkew, BalancedTrafficDoesNotFire)
+{
+    OsSkewPolicy policy(pages, hosts, 8);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 200; ++i)
+        policy.recordAccess(3, static_cast<HostId>(i % 2));
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plan.promotions.empty());
+}
+
+TEST(OsSkew, DrainedVoteDemotesMigratedPage)
+{
+    OsSkewPolicy policy(pages, hosts, 8);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 8; ++i)
+        policy.recordAccess(3, 0);
+    policy.epoch(ctxOf(), migrated);
+    migrated[3] = 0;
+    // Another host drains the vote back to zero.
+    for (int i = 0; i < 10; ++i)
+        policy.recordAccess(3, 1);
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_EQ(std::count(plan.demotions.begin(), plan.demotions.end(),
+                         3ull),
+              1);
+}
+
+TEST(OsSkew, StaleFiringRevalidatedAtEpoch)
+{
+    OsSkewPolicy policy(pages, hosts, 8);
+    auto migrated = noneMigrated();
+    for (int i = 0; i < 8; ++i)
+        policy.recordAccess(3, 0);      // fires
+    for (int i = 0; i < 8; ++i)
+        policy.recordAccess(3, 1);      // drains to zero before the epoch
+    EpochPlan plan = policy.epoch(ctxOf(), migrated);
+    EXPECT_TRUE(plan.promotions.empty());
+}
+
+} // namespace
+} // namespace pipm

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Tests for the optional TLB model: hit/miss/walk accounting, capacity,
+ * shootdowns, and its integration with OS page migration (remaps
+ * invalidate translations at every core).
+ */
+
+#include <gtest/gtest.h>
+
+#include "os/tlb.hh"
+#include "sim/system.hh"
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+namespace
+{
+
+TEST(Tlb, MissWalksThenHits)
+{
+    TlbConfig cfg;
+    Tlb tlb(cfg);
+    const Cycles first = tlb.translate(42);
+    const Cycles second = tlb.translate(42);
+    EXPECT_EQ(first, cfg.hitCycles + cfg.walkCycles);
+    EXPECT_EQ(second, cfg.hitCycles);
+    EXPECT_EQ(tlb.missCount.value(), 1u);
+    EXPECT_EQ(tlb.hits.value(), 1u);
+}
+
+TEST(Tlb, CapacityEvictsOldTranslations)
+{
+    TlbConfig cfg;
+    cfg.entries = 16;
+    cfg.ways = 4;
+    Tlb tlb(cfg);
+    for (std::uint64_t p = 0; p < 64; ++p)
+        tlb.translate(p);
+    // A re-walk is needed for at least some early pages.
+    const std::uint64_t misses = tlb.missCount.value();
+    tlb.translate(0);
+    EXPECT_GE(tlb.missCount.value(), misses);
+    EXPECT_EQ(tlb.missCount.value() + tlb.hits.value(), 65u);
+}
+
+TEST(Tlb, ShootdownForcesRewalk)
+{
+    Tlb tlb(TlbConfig{});
+    tlb.translate(7);
+    tlb.shootdown(7);
+    EXPECT_EQ(tlb.shootdowns.value(), 1u);
+    tlb.translate(7);
+    EXPECT_EQ(tlb.missCount.value(), 2u);
+    // Shooting down an absent page is harmless and uncounted.
+    tlb.shootdown(999);
+    EXPECT_EQ(tlb.shootdowns.value(), 1u);
+}
+
+class TlbStub : public Workload
+{
+  public:
+    std::string name() const override { return "tlbstub"; }
+    std::string suite() const override { return "test"; }
+    std::uint64_t footprintBytes() const override { return 1 << 20; }
+    std::uint64_t sharedBytes() const override { return 64 * pageBytes; }
+    std::uint64_t privateBytesPerHost() const override
+    {
+        return 8 * pageBytes;
+    }
+    std::string fingerprint() const override { return "tlbstub"; }
+    std::unique_ptr<CoreTrace>
+    makeTrace(HostId, CoreId, unsigned, unsigned,
+              std::uint64_t) const override
+    {
+        return nullptr;
+    }
+};
+
+MemRef
+ref(std::uint64_t page, unsigned line)
+{
+    MemRef r;
+    r.shared = true;
+    r.page = page;
+    r.lineIdx = static_cast<std::uint8_t>(line);
+    r.op = MemOp::read;
+    return r;
+}
+
+TEST(TlbSystem, TranslationChargesAppearWhenEnabled)
+{
+    SystemConfig cfg = testConfig();
+    cfg.tlb.enabled = true;
+    TlbStub wl;
+    MultiHostSystem sys(cfg, Scheme::native, wl, 3);
+    ASSERT_NE(sys.tlb(0, 0), nullptr);
+
+    const Cycles cold = sys.access(0, 0, ref(1, 0), 0).latency;
+    // Same page, different line: TLB hit, L1 miss.
+    const Cycles warm = sys.access(0, 0, ref(1, 1), 10'000).latency;
+    EXPECT_GT(cold, warm);
+    EXPECT_EQ(sys.tlb(0, 0)->missCount.value(), 1u);
+}
+
+TEST(TlbSystem, OsMigrationShootsDownAllCores)
+{
+    SystemConfig cfg = testConfig();
+    cfg.tlb.enabled = true;
+    cfg.coresPerHost = 2;
+    TlbStub wl;
+    MultiHostSystem sys(cfg, Scheme::memtis, wl, 3);
+
+    // Warm every core's translation of page 4, then drive epochs until
+    // the page migrates.
+    Cycles now = 0;
+    for (int epoch = 0; epoch < 4; ++epoch) {
+        for (int i = 0; i < 200; ++i) {
+            sys.access(1, static_cast<CoreId>(i % 2),
+                       ref(4, static_cast<unsigned>(i) % linesPerPage),
+                       now);
+            sys.access(0, static_cast<CoreId>(i % 2), ref(4, 0), now);
+            now += 300;
+        }
+        now += cfg.osEpochCycles();
+        sys.tick(now);
+    }
+    ASSERT_NE(sys.gimHostOf(4), invalidHost);
+    for (unsigned h = 0; h < cfg.numHosts; ++h) {
+        for (unsigned c = 0; c < cfg.coresPerHost; ++c) {
+            EXPECT_GT(sys.tlb(static_cast<HostId>(h),
+                              static_cast<CoreId>(c))
+                          ->shootdowns.value(),
+                      0u)
+                << "host " << h << " core " << c;
+        }
+    }
+}
+
+TEST(TlbSystem, DisabledByDefault)
+{
+    SystemConfig cfg = testConfig();
+    TlbStub wl;
+    MultiHostSystem sys(cfg, Scheme::native, wl, 3);
+    EXPECT_EQ(sys.tlb(0, 0), nullptr);
+}
+
+} // namespace
+} // namespace pipm

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Tests for trace-file record/replay: word packing, round-trip equality
+ * with the generating workload, looping, metadata and error handling.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/logging.hh"
+#include "workloads/catalog.hh"
+#include "workloads/trace_file.hh"
+
+namespace pipm
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               "pipm_trace_test_dir";
+        std::filesystem::remove_all(dir_);
+    }
+
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::filesystem::path dir_;
+};
+
+TEST(TracePacking, RoundTripsAllFields)
+{
+    MemRef ref;
+    ref.shared = true;
+    ref.page = (1ull << 39) + 12345;
+    ref.lineIdx = 63;
+    ref.op = MemOp::write;
+    ref.gap = 65535;
+    const MemRef out = unpackMemRef(packMemRef(ref));
+    EXPECT_EQ(out.shared, ref.shared);
+    EXPECT_EQ(out.page, ref.page);
+    EXPECT_EQ(out.lineIdx, ref.lineIdx);
+    EXPECT_EQ(static_cast<int>(out.op), static_cast<int>(ref.op));
+    EXPECT_EQ(out.gap, ref.gap);
+
+    ref.shared = false;
+    ref.op = MemOp::read;
+    ref.page = 0;
+    ref.gap = 0;
+    ref.lineIdx = 0;
+    const MemRef out2 = unpackMemRef(packMemRef(ref));
+    EXPECT_FALSE(out2.shared);
+    EXPECT_EQ(static_cast<int>(out2.op), static_cast<int>(MemOp::read));
+}
+
+TEST(TracePacking, OversizedPagePanics)
+{
+    detail::throwOnError = true;
+    MemRef ref;
+    ref.page = 1ull << 40;
+    EXPECT_THROW(packMemRef(ref), SimError);
+    detail::throwOnError = false;
+}
+
+TEST_F(TraceFileTest, RecordedTracesReplayIdentically)
+{
+    auto workload = workloadByName("ycsb", 256);
+    recordTraces(*workload, dir_.string(), 500, 2, 2, 99);
+
+    TraceFileWorkload replay(dir_.string());
+    EXPECT_EQ(replay.name(), "ycsb");
+    EXPECT_EQ(replay.sharedBytes(), workload->sharedBytes());
+    EXPECT_EQ(replay.recordedHosts(), 2u);
+    EXPECT_EQ(replay.refsPerCore(), 500u);
+
+    // The replayed stream equals the original generator's stream.
+    auto original = workload->makeTrace(1, 0, 2, 2, 99 + 7919 * 64);
+    auto from_file = replay.makeTrace(1, 0, 2, 2, 0);
+    for (int i = 0; i < 500; ++i) {
+        const MemRef a = original->next();
+        const MemRef b = from_file->next();
+        ASSERT_EQ(a.page, b.page) << "ref " << i;
+        ASSERT_EQ(a.lineIdx, b.lineIdx);
+        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
+        ASSERT_EQ(a.gap, b.gap);
+        ASSERT_EQ(a.shared, b.shared);
+    }
+}
+
+TEST_F(TraceFileTest, StreamsLoopAtTheEnd)
+{
+    auto workload = workloadByName("ycsb", 256);
+    recordTraces(*workload, dir_.string(), 100, 1, 1, 5);
+    FileTrace trace(dir_.string() + "/trace_h0_c0.bin");
+    const MemRef first = trace.next();
+    for (int i = 1; i < 100; ++i)
+        trace.next();
+    const MemRef wrapped = trace.next();
+    EXPECT_EQ(trace.wraps(), 1u);
+    EXPECT_EQ(first.page, wrapped.page);
+    EXPECT_EQ(first.gap, wrapped.gap);
+}
+
+TEST_F(TraceFileTest, RejectsOversubscribedGeometry)
+{
+    auto workload = workloadByName("ycsb", 256);
+    recordTraces(*workload, dir_.string(), 50, 1, 1, 5);
+    TraceFileWorkload replay(dir_.string());
+    detail::throwOnError = true;
+    EXPECT_THROW(replay.makeTrace(1, 0, 1, 2, 0), SimError);
+    detail::throwOnError = false;
+}
+
+TEST_F(TraceFileTest, MissingMetadataIsFatal)
+{
+    detail::throwOnError = true;
+    EXPECT_THROW(TraceFileWorkload((dir_ / "nope").string()), SimError);
+    detail::throwOnError = false;
+}
+
+TEST_F(TraceFileTest, TruncatedFileIsFatal)
+{
+    std::filesystem::create_directories(dir_);
+    {
+        std::FILE *f =
+            std::fopen((dir_ / "trace_h0_c0.bin").c_str(), "wb");
+        const char bytes[5] = {1, 2, 3, 4, 5};
+        std::fwrite(bytes, 1, 5, f);
+        std::fclose(f);
+    }
+    detail::throwOnError = true;
+    EXPECT_THROW(FileTrace((dir_ / "trace_h0_c0.bin").string()),
+                 SimError);
+    detail::throwOnError = false;
+}
+
+} // namespace
+} // namespace pipm

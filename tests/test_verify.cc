@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Tests for the protocol model and the explicit-state checker — the
+ * reproduction of the paper's Murphi verification (§5.1.4).
+ */
+
+#include <gtest/gtest.h>
+
+#include "verify/checker.hh"
+
+namespace pipm
+{
+namespace
+{
+
+TEST(ProtocolModel, InitialStateIsClean)
+{
+    ProtocolModel model(2);
+    const ProtoState s = model.initial();
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+    EXPECT_TRUE(s.memLatest);
+    EXPECT_EQ(s.dir, DevState::I);
+}
+
+TEST(ProtocolModel, ExclusiveReadGrant)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::read, 0);
+    EXPECT_EQ(s.host[0].cache, HostState::M);
+    EXPECT_TRUE(s.host[0].latest);
+    EXPECT_EQ(s.dir, DevState::M);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, SecondReaderDowngradesToShared)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::read, 0);
+    s = model.apply(s, ProtoEvent::read, 1);
+    EXPECT_EQ(s.host[0].cache, HostState::S);
+    EXPECT_EQ(s.host[1].cache, HostState::S);
+    EXPECT_EQ(s.dir, DevState::S);
+    EXPECT_TRUE(s.memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, WriteInvalidatesSharers)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::read, 0);
+    s = model.apply(s, ProtoEvent::read, 1);
+    s = model.apply(s, ProtoEvent::write, 0);
+    EXPECT_EQ(s.host[0].cache, HostState::M);
+    EXPECT_TRUE(s.host[0].dirty);
+    EXPECT_EQ(s.host[1].cache, HostState::I);
+    EXPECT_FALSE(s.memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case1IncrementalMigrationOnEviction)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);    // M dirty at h0
+    s = model.apply(s, ProtoEvent::evict, 0);    // case 1: M -> I'
+    EXPECT_TRUE(s.lineMigrated);
+    EXPECT_TRUE(s.localLatest);
+    EXPECT_FALSE(s.memLatest);
+    EXPECT_EQ(s.dir, DevState::I);
+    EXPECT_EQ(s.host[0].cache, HostState::I);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case3LocalReadOfMigratedLine)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);
+    s = model.apply(s, ProtoEvent::read, 0);     // case 3: I' -> ME
+    EXPECT_EQ(s.host[0].cache, HostState::ME);
+    EXPECT_TRUE(s.host[0].latest);
+    EXPECT_EQ(s.dir, DevState::I);               // no directory entry
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case4MeEvictionWritesBackLocally)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);
+    s = model.apply(s, ProtoEvent::write, 0);    // I' -> ME dirty
+    s = model.apply(s, ProtoEvent::evict, 0);    // case 4: ME -> I'
+    EXPECT_TRUE(s.lineMigrated);
+    EXPECT_TRUE(s.localLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case2InterHostReadMigratesBack)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);    // I' at h0
+    s = model.apply(s, ProtoEvent::read, 1);     // case 2
+    EXPECT_FALSE(s.lineMigrated);
+    EXPECT_TRUE(s.memLatest);
+    EXPECT_EQ(s.host[1].cache, HostState::M);
+    EXPECT_TRUE(s.host[1].latest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case6InterHostReadOfMeKeepsOwnerShared)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);
+    s = model.apply(s, ProtoEvent::read, 0);     // ME at h0
+    s = model.apply(s, ProtoEvent::read, 1);     // case 6
+    EXPECT_EQ(s.host[0].cache, HostState::S);
+    EXPECT_EQ(s.host[1].cache, HostState::S);
+    EXPECT_EQ(s.dir, DevState::S);
+    EXPECT_FALSE(s.lineMigrated);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, Case5InterHostWriteInvalidatesMeOwner)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);
+    s = model.apply(s, ProtoEvent::read, 0);     // ME at h0
+    s = model.apply(s, ProtoEvent::write, 1);    // case 5
+    EXPECT_EQ(s.host[0].cache, HostState::I);
+    EXPECT_EQ(s.host[1].cache, HostState::M);
+    EXPECT_TRUE(s.host[1].dirty);
+    EXPECT_FALSE(s.lineMigrated);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, RevocationRestoresCxlResidence)
+{
+    ProtocolModel model(2);
+    ProtoState s = model.apply(model.initial(), ProtoEvent::promote, 0);
+    s = model.apply(s, ProtoEvent::write, 0);
+    s = model.apply(s, ProtoEvent::evict, 0);
+    s = model.apply(s, ProtoEvent::revoke, 0);
+    EXPECT_EQ(s.promotedTo, invalidHost);
+    EXPECT_FALSE(s.lineMigrated);
+    EXPECT_TRUE(s.memLatest);
+    EXPECT_TRUE(model.checkInvariants(s).empty());
+}
+
+TEST(ProtocolModel, InvariantCheckerDetectsViolations)
+{
+    ProtocolModel model(2);
+    ProtoState bad = model.initial();
+    bad.host[0].cache = HostState::M;
+    bad.host[0].latest = true;
+    bad.host[1].cache = HostState::M;
+    bad.host[1].latest = true;
+    EXPECT_NE(model.checkInvariants(bad).find("SWMR"), std::string::npos);
+
+    ProtoState stale = model.initial();
+    stale.memLatest = false;
+    EXPECT_FALSE(model.checkInvariants(stale).empty());
+
+    ProtoState me_no_bit = model.initial();
+    me_no_bit.host[0].cache = HostState::ME;
+    me_no_bit.host[0].latest = true;
+    EXPECT_FALSE(model.checkInvariants(me_no_bit).empty());
+}
+
+TEST(Checker, TwoHostProtocolIsSafe)
+{
+    const CheckResult result = checkProtocol(2);
+    EXPECT_TRUE(result.ok) << result.violation << "\n"
+                           << result.traceString(2);
+    EXPECT_GT(result.statesExplored, 20u);
+    EXPECT_GT(result.transitions, result.statesExplored);
+}
+
+TEST(Checker, ThreeHostProtocolIsSafe)
+{
+    const CheckResult result = checkProtocol(3);
+    EXPECT_TRUE(result.ok) << result.violation << "\n"
+                           << result.traceString(3);
+}
+
+TEST(Checker, FourHostProtocolIsSafe)
+{
+    const CheckResult result = checkProtocol(4);
+    EXPECT_TRUE(result.ok) << result.violation;
+}
+
+TEST(ProtoState, EncodingIsInjectiveOnReachableStates)
+{
+    // Two different states must encode differently (spot check).
+    ProtocolModel model(2);
+    ProtoState a = model.initial();
+    ProtoState b = model.apply(a, ProtoEvent::read, 0);
+    EXPECT_NE(a.encode(2), b.encode(2));
+    EXPECT_EQ(a.encode(2), model.initial().encode(2));
+}
+
+} // namespace
+} // namespace pipm
