@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_naive_coherence.dir/ablation_naive_coherence.cc.o"
+  "CMakeFiles/ablation_naive_coherence.dir/ablation_naive_coherence.cc.o.d"
+  "CMakeFiles/ablation_naive_coherence.dir/bench_common.cc.o"
+  "CMakeFiles/ablation_naive_coherence.dir/bench_common.cc.o.d"
+  "ablation_naive_coherence"
+  "ablation_naive_coherence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_naive_coherence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_interval_breakdown.dir/bench_common.cc.o"
+  "CMakeFiles/fig04_interval_breakdown.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig04_interval_breakdown.dir/fig04_interval_breakdown.cc.o"
+  "CMakeFiles/fig04_interval_breakdown.dir/fig04_interval_breakdown.cc.o.d"
+  "fig04_interval_breakdown"
+  "fig04_interval_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_interval_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_harmful_migrations.dir/bench_common.cc.o"
+  "CMakeFiles/fig05_harmful_migrations.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig05_harmful_migrations.dir/fig05_harmful_migrations.cc.o"
+  "CMakeFiles/fig05_harmful_migrations.dir/fig05_harmful_migrations.cc.o.d"
+  "fig05_harmful_migrations"
+  "fig05_harmful_migrations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_harmful_migrations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

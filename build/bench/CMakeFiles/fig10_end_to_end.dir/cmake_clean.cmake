@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_end_to_end.dir/bench_common.cc.o"
+  "CMakeFiles/fig10_end_to_end.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig10_end_to_end.dir/fig10_end_to_end.cc.o"
+  "CMakeFiles/fig10_end_to_end.dir/fig10_end_to_end.cc.o.d"
+  "fig10_end_to_end"
+  "fig10_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

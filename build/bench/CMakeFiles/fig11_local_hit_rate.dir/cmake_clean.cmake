@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_local_hit_rate.dir/bench_common.cc.o"
+  "CMakeFiles/fig11_local_hit_rate.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig11_local_hit_rate.dir/fig11_local_hit_rate.cc.o"
+  "CMakeFiles/fig11_local_hit_rate.dir/fig11_local_hit_rate.cc.o.d"
+  "fig11_local_hit_rate"
+  "fig11_local_hit_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_local_hit_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

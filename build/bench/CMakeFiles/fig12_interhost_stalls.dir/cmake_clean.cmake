@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_interhost_stalls.dir/bench_common.cc.o"
+  "CMakeFiles/fig12_interhost_stalls.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig12_interhost_stalls.dir/fig12_interhost_stalls.cc.o"
+  "CMakeFiles/fig12_interhost_stalls.dir/fig12_interhost_stalls.cc.o.d"
+  "fig12_interhost_stalls"
+  "fig12_interhost_stalls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_interhost_stalls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_memory_footprint.dir/bench_common.cc.o"
+  "CMakeFiles/fig13_memory_footprint.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig13_memory_footprint.dir/fig13_memory_footprint.cc.o"
+  "CMakeFiles/fig13_memory_footprint.dir/fig13_memory_footprint.cc.o.d"
+  "fig13_memory_footprint"
+  "fig13_memory_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_memory_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

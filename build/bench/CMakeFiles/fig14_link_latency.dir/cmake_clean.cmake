@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_link_latency.dir/bench_common.cc.o"
+  "CMakeFiles/fig14_link_latency.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig14_link_latency.dir/fig14_link_latency.cc.o"
+  "CMakeFiles/fig14_link_latency.dir/fig14_link_latency.cc.o.d"
+  "fig14_link_latency"
+  "fig14_link_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_link_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

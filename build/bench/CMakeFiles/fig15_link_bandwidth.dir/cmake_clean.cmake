@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_link_bandwidth.dir/bench_common.cc.o"
+  "CMakeFiles/fig15_link_bandwidth.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig15_link_bandwidth.dir/fig15_link_bandwidth.cc.o"
+  "CMakeFiles/fig15_link_bandwidth.dir/fig15_link_bandwidth.cc.o.d"
+  "fig15_link_bandwidth"
+  "fig15_link_bandwidth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_link_bandwidth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

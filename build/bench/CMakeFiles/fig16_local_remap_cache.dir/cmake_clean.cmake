@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_local_remap_cache.dir/bench_common.cc.o"
+  "CMakeFiles/fig16_local_remap_cache.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig16_local_remap_cache.dir/fig16_local_remap_cache.cc.o"
+  "CMakeFiles/fig16_local_remap_cache.dir/fig16_local_remap_cache.cc.o.d"
+  "fig16_local_remap_cache"
+  "fig16_local_remap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_local_remap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig16_local_remap_cache.
+# This may be replaced when dependencies are built.

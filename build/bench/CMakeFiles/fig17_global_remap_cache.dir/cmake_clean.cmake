@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_global_remap_cache.dir/bench_common.cc.o"
+  "CMakeFiles/fig17_global_remap_cache.dir/bench_common.cc.o.d"
+  "CMakeFiles/fig17_global_remap_cache.dir/fig17_global_remap_cache.cc.o"
+  "CMakeFiles/fig17_global_remap_cache.dir/fig17_global_remap_cache.cc.o.d"
+  "fig17_global_remap_cache"
+  "fig17_global_remap_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_global_remap_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig17_global_remap_cache.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/verify_protocol.dir/bench_common.cc.o"
+  "CMakeFiles/verify_protocol.dir/bench_common.cc.o.d"
+  "CMakeFiles/verify_protocol.dir/verify_protocol.cc.o"
+  "CMakeFiles/verify_protocol.dir/verify_protocol.cc.o.d"
+  "verify_protocol"
+  "verify_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/verify_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_coherence_explorer.dir/coherence_explorer.cpp.o"
+  "CMakeFiles/example_coherence_explorer.dir/coherence_explorer.cpp.o.d"
+  "example_coherence_explorer"
+  "example_coherence_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_coherence_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_diag.dir/diag.cpp.o"
+  "CMakeFiles/example_diag.dir/diag.cpp.o.d"
+  "example_diag"
+  "example_diag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_diag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

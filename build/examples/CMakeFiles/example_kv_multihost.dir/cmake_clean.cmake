@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_kv_multihost.dir/kv_multihost.cpp.o"
+  "CMakeFiles/example_kv_multihost.dir/kv_multihost.cpp.o.d"
+  "example_kv_multihost"
+  "example_kv_multihost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_kv_multihost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

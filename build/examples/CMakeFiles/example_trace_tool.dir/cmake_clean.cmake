@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_trace_tool.dir/trace_tool.cpp.o"
+  "CMakeFiles/example_trace_tool.dir/trace_tool.cpp.o.d"
+  "example_trace_tool"
+  "example_trace_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_trace_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/hierarchy.cc" "src/CMakeFiles/pipm.dir/cache/hierarchy.cc.o" "gcc" "src/CMakeFiles/pipm.dir/cache/hierarchy.cc.o.d"
+  "/root/repo/src/coherence/device_directory.cc" "src/CMakeFiles/pipm.dir/coherence/device_directory.cc.o" "gcc" "src/CMakeFiles/pipm.dir/coherence/device_directory.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/pipm.dir/common/config.cc.o" "gcc" "src/CMakeFiles/pipm.dir/common/config.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/pipm.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/pipm.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/stats.cc" "src/CMakeFiles/pipm.dir/common/stats.cc.o" "gcc" "src/CMakeFiles/pipm.dir/common/stats.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/pipm.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/pipm.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/cxl/link.cc" "src/CMakeFiles/pipm.dir/cxl/link.cc.o" "gcc" "src/CMakeFiles/pipm.dir/cxl/link.cc.o.d"
+  "/root/repo/src/mem/dram.cc" "src/CMakeFiles/pipm.dir/mem/dram.cc.o" "gcc" "src/CMakeFiles/pipm.dir/mem/dram.cc.o.d"
+  "/root/repo/src/migration/harmful.cc" "src/CMakeFiles/pipm.dir/migration/harmful.cc.o" "gcc" "src/CMakeFiles/pipm.dir/migration/harmful.cc.o.d"
+  "/root/repo/src/migration/hemem.cc" "src/CMakeFiles/pipm.dir/migration/hemem.cc.o" "gcc" "src/CMakeFiles/pipm.dir/migration/hemem.cc.o.d"
+  "/root/repo/src/migration/memtis.cc" "src/CMakeFiles/pipm.dir/migration/memtis.cc.o" "gcc" "src/CMakeFiles/pipm.dir/migration/memtis.cc.o.d"
+  "/root/repo/src/migration/nomad.cc" "src/CMakeFiles/pipm.dir/migration/nomad.cc.o" "gcc" "src/CMakeFiles/pipm.dir/migration/nomad.cc.o.d"
+  "/root/repo/src/migration/os_skew.cc" "src/CMakeFiles/pipm.dir/migration/os_skew.cc.o" "gcc" "src/CMakeFiles/pipm.dir/migration/os_skew.cc.o.d"
+  "/root/repo/src/os/address_space.cc" "src/CMakeFiles/pipm.dir/os/address_space.cc.o" "gcc" "src/CMakeFiles/pipm.dir/os/address_space.cc.o.d"
+  "/root/repo/src/pipm/pipm_state.cc" "src/CMakeFiles/pipm.dir/pipm/pipm_state.cc.o" "gcc" "src/CMakeFiles/pipm.dir/pipm/pipm_state.cc.o.d"
+  "/root/repo/src/pipm/remap_cache.cc" "src/CMakeFiles/pipm.dir/pipm/remap_cache.cc.o" "gcc" "src/CMakeFiles/pipm.dir/pipm/remap_cache.cc.o.d"
+  "/root/repo/src/sim/runner.cc" "src/CMakeFiles/pipm.dir/sim/runner.cc.o" "gcc" "src/CMakeFiles/pipm.dir/sim/runner.cc.o.d"
+  "/root/repo/src/sim/system.cc" "src/CMakeFiles/pipm.dir/sim/system.cc.o" "gcc" "src/CMakeFiles/pipm.dir/sim/system.cc.o.d"
+  "/root/repo/src/verify/checker.cc" "src/CMakeFiles/pipm.dir/verify/checker.cc.o" "gcc" "src/CMakeFiles/pipm.dir/verify/checker.cc.o.d"
+  "/root/repo/src/verify/multiline_model.cc" "src/CMakeFiles/pipm.dir/verify/multiline_model.cc.o" "gcc" "src/CMakeFiles/pipm.dir/verify/multiline_model.cc.o.d"
+  "/root/repo/src/verify/protocol_model.cc" "src/CMakeFiles/pipm.dir/verify/protocol_model.cc.o" "gcc" "src/CMakeFiles/pipm.dir/verify/protocol_model.cc.o.d"
+  "/root/repo/src/workloads/catalog.cc" "src/CMakeFiles/pipm.dir/workloads/catalog.cc.o" "gcc" "src/CMakeFiles/pipm.dir/workloads/catalog.cc.o.d"
+  "/root/repo/src/workloads/synthetic.cc" "src/CMakeFiles/pipm.dir/workloads/synthetic.cc.o" "gcc" "src/CMakeFiles/pipm.dir/workloads/synthetic.cc.o.d"
+  "/root/repo/src/workloads/trace_file.cc" "src/CMakeFiles/pipm.dir/workloads/trace_file.cc.o" "gcc" "src/CMakeFiles/pipm.dir/workloads/trace_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

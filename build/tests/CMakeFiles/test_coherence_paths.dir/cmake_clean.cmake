@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_coherence_paths.dir/test_coherence_paths.cc.o"
+  "CMakeFiles/test_coherence_paths.dir/test_coherence_paths.cc.o.d"
+  "test_coherence_paths"
+  "test_coherence_paths.pdb"
+  "test_coherence_paths[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_coherence_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

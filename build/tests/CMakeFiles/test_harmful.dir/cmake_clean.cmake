@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_harmful.dir/test_harmful.cc.o"
+  "CMakeFiles/test_harmful.dir/test_harmful.cc.o.d"
+  "test_harmful"
+  "test_harmful.pdb"
+  "test_harmful[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_harmful.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

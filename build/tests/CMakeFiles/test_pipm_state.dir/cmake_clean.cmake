@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pipm_state.dir/test_pipm_state.cc.o"
+  "CMakeFiles/test_pipm_state.dir/test_pipm_state.cc.o.d"
+  "test_pipm_state"
+  "test_pipm_state.pdb"
+  "test_pipm_state[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pipm_state.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

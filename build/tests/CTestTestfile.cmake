@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_coherence_paths[1]_include.cmake")
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_directory[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_harmful[1]_include.cmake")
+include("/root/repo/build/tests/test_hierarchy[1]_include.cmake")
+include("/root/repo/build/tests/test_link[1]_include.cmake")
+include("/root/repo/build/tests/test_model_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_multiline_model[1]_include.cmake")
+include("/root/repo/build/tests/test_os[1]_include.cmake")
+include("/root/repo/build/tests/test_pipm_state[1]_include.cmake")
+include("/root/repo/build/tests/test_policies[1]_include.cmake")
+include("/root/repo/build/tests/test_remap_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_runner[1]_include.cmake")
+include("/root/repo/build/tests/test_system[1]_include.cmake")
+include("/root/repo/build/tests/test_tlb[1]_include.cmake")
+include("/root/repo/build/tests/test_trace_file[1]_include.cmake")
+include("/root/repo/build/tests/test_verify[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
