@@ -36,7 +36,10 @@ serialize(const RunResult &r)
        << r.pipmPromotions << '\t' << r.pipmRevocations << '\t'
        << r.pipmLinesIn << '\t' << r.pipmLinesBack << '\t'
        << r.harmfulMigrations << '\t' << r.totalTrackedMigrations << '\t'
-       << r.pageFootprintFrac << '\t' << r.lineFootprintFrac;
+       << r.pageFootprintFrac << '\t' << r.lineFootprintFrac << '\t'
+       << r.linkCrcErrors << '\t' << r.linkRetrainEvents << '\t'
+       << r.poisonEvents << '\t' << r.degradedAccesses << '\t'
+       << r.migrationAborts << '\t' << r.migrationsDeferred;
     return os.str();
 }
 
@@ -44,16 +47,22 @@ bool
 deserialize(const std::string &line, RunResult &r)
 {
     std::istringstream is(line);
-    return static_cast<bool>(
-        is >> r.execCycles >> r.instructions >> r.ipc >>
-        r.sharedAccesses >> r.sharedLlcMisses >> r.localServedMisses >>
-        r.cxlServedMisses >> r.interHostAccesses >>
-        r.interHostStallCycles >> r.mgmtStallCycles >>
-        r.migrationTransferBytes >> r.osMigrations >> r.osDemotions >>
-        r.pipmPromotions >> r.pipmRevocations >> r.pipmLinesIn >>
-        r.pipmLinesBack >> r.harmfulMigrations >>
-        r.totalTrackedMigrations >> r.pageFootprintFrac >>
-        r.lineFootprintFrac);
+    if (!(is >> r.execCycles >> r.instructions >> r.ipc >>
+          r.sharedAccesses >> r.sharedLlcMisses >> r.localServedMisses >>
+          r.cxlServedMisses >> r.interHostAccesses >>
+          r.interHostStallCycles >> r.mgmtStallCycles >>
+          r.migrationTransferBytes >> r.osMigrations >> r.osDemotions >>
+          r.pipmPromotions >> r.pipmRevocations >> r.pipmLinesIn >>
+          r.pipmLinesBack >> r.harmfulMigrations >>
+          r.totalTrackedMigrations >> r.pageFootprintFrac >>
+          r.lineFootprintFrac))
+        return false;
+    // The fault columns are a later addition; entries cached before then
+    // lack them (and were necessarily fault-free runs), so they default
+    // to zero.
+    is >> r.linkCrcErrors >> r.linkRetrainEvents >> r.poisonEvents >>
+        r.degradedAccesses >> r.migrationAborts >> r.migrationsDeferred;
+    return true;
 }
 
 /** FNV-1a over a string, hex-encoded. */
@@ -116,13 +125,36 @@ configKey(const SystemConfig &cfg)
        << cfg.footprintScale << ',' << cfg.timeScale << ','
        << cfg.migrationBytesScale << ',' << cfg.l1Scale << ','
        << cfg.llcScale;
+    if (cfg.fault.enabled) {
+        // Appended only when faults are on so that fault-free keys (and
+        // the entries cached before fault injection existed) are stable.
+        os << ",fault:" << cfg.fault.seed << ',' << cfg.fault.linkErrorRate
+           << ',' << cfg.fault.retrainIntervalNs << ','
+           << cfg.fault.retrainWindowNs << ',' << cfg.fault.poisonRate
+           << ',' << cfg.fault.persistentPoisonFrac << ','
+           << cfg.fault.migrationAbortRate << ','
+           << cfg.fault.backoffWindow << ',' << cfg.fault.backoffThreshold
+           << ',' << cfg.fault.backoffBaseNs << ','
+           << cfg.fault.backoffMaxExp;
+    }
     return os.str();
+}
+
+bool
+applyEnvFaults(SystemConfig &cfg)
+{
+    const char *v = std::getenv("PIPM_BENCH_FAULTS");
+    if (!v || !*v || std::string(v) == "0")
+        return false;
+    cfg.fault = paperFaultConfig(envU64("PIPM_BENCH_SEED", 42));
+    return true;
 }
 
 RunResult
 cachedRun(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
           const Options &opts, const std::string &extra_key)
 {
+    cfg.validate();
     std::ostringstream key_src;
     key_src << workload.fingerprint() << '|' << toString(scheme) << '|'
             << configKey(cfg) << '|' << opts.measureRefs << '|'

@@ -14,6 +14,8 @@
  *   PIPM_BENCH_WARMUP  warmup references per core (default 40000)
  *   PIPM_BENCH_SEED    RNG seed (default 42)
  *   PIPM_BENCH_CACHE   cache file path (default ./pipm_bench_cache.tsv)
+ *   PIPM_BENCH_FAULTS  any value but empty/"0": enable the paper-default
+ *                      fault schedule (harnesses calling applyEnvFaults)
  */
 
 #ifndef PIPM_BENCH_COMMON_HH
@@ -58,6 +60,13 @@ pipm::RunResult cachedRun(const pipm::SystemConfig &cfg,
 
 /** Fingerprint of every config field that affects measurements. */
 std::string configKey(const pipm::SystemConfig &cfg);
+
+/**
+ * Enable the paper-default fault schedule on `cfg` when the
+ * PIPM_BENCH_FAULTS environment variable is set (and not "0").
+ * @return whether faults were enabled
+ */
+bool applyEnvFaults(pipm::SystemConfig &cfg);
 
 /** base.execCycles / x.execCycles (speedup of x over base). */
 double speedupOver(const pipm::RunResult &base, const pipm::RunResult &x);

@@ -22,7 +22,8 @@ main()
     using namespace pipmbench;
 
     const Options opts = optionsFromEnv();
-    const SystemConfig cfg = defaultConfig();
+    SystemConfig cfg = defaultConfig();
+    const bool faulty = applyEnvFaults(cfg);
 
     TablePrinter table(
         "Figure 10: end-to-end speedup over Native CXL-DSM");
@@ -32,6 +33,7 @@ main()
     table.header(header);
 
     std::vector<std::vector<double>> columns(allSchemes.size());
+    RunResult faultTotals;
     for (const auto &workload : table1Workloads(cfg.footprintScale)) {
         const RunResult native =
             cachedRun(cfg, Scheme::native, *workload, opts);
@@ -44,6 +46,12 @@ main()
             const double speedup = speedupOver(native, r);
             columns[i].push_back(speedup);
             row.push_back(TablePrinter::num(speedup, 2) + "x");
+            faultTotals.linkCrcErrors += r.linkCrcErrors;
+            faultTotals.linkRetrainEvents += r.linkRetrainEvents;
+            faultTotals.poisonEvents += r.poisonEvents;
+            faultTotals.degradedAccesses += r.degradedAccesses;
+            faultTotals.migrationAborts += r.migrationAborts;
+            faultTotals.migrationsDeferred += r.migrationsDeferred;
         }
         table.row(row);
     }
@@ -53,6 +61,17 @@ main()
         mean_row.push_back(TablePrinter::num(geomean(col), 2) + "x");
     table.row(mean_row);
     table.print(std::cout);
+
+    if (faulty) {
+        std::cout << "Fault injection (PIPM_BENCH_FAULTS): "
+                  << faultTotals.linkCrcErrors << " link CRC errors, "
+                  << faultTotals.linkRetrainEvents << " retrain events, "
+                  << faultTotals.poisonEvents << " poisoned lines, "
+                  << faultTotals.degradedAccesses << " degraded accesses, "
+                  << faultTotals.migrationAborts << " migration aborts, "
+                  << faultTotals.migrationsDeferred
+                  << " migrations deferred (totals across runs).\n";
+    }
 
     std::cout << "Paper: PIPM 1.86x avg (max 2.54x) over native; "
                  "0.73x of local-only; OS-skew +31.5%; HW-static +15.7%; "

@@ -10,8 +10,10 @@
 
 #include <iostream>
 
+#include "common/config.hh"
 #include "common/table_printer.hh"
 #include "verify/checker.hh"
+#include "verify/fault_schedule.hh"
 #include "verify/multiline_model.hh"
 
 int
@@ -48,8 +50,26 @@ main()
                     std::to_string(result.transitions)});
     }
     table2.print(std::cout);
+
+    TablePrinter table3("Fault-schedule checking (full system under "
+                        "injected link/poison/abort faults)");
+    table3.header({"scheme", "result", "schedules", "accesses", "faults"});
+    for (Scheme s : {Scheme::pipmFull, Scheme::hwStatic}) {
+        const FaultCheckResult result =
+            checkFaultSchedules(testConfig(), s, 4, 20'000);
+        all_ok = all_ok && result.ok;
+        table3.row({std::string(toString(s)),
+                    result.ok ? "SAFE" : "VIOLATION: " + result.violation,
+                    std::to_string(result.schedules),
+                    std::to_string(result.accesses),
+                    std::to_string(result.faultsInjected)});
+    }
+    table3.print(std::cout);
+
     std::cout << "Invariants: single-writer-multiple-reader, data-value "
                  "(reads return the latest write), I'/ME encoding "
-                 "consistency, directory precision, deadlock freedom.\n";
+                 "consistency, directory precision, deadlock freedom; "
+                 "under faults additionally remap-table consistency and "
+                 "poisoned-lines-uncached.\n";
     return all_ok ? 0 : 1;
 }

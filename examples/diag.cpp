@@ -6,7 +6,11 @@
  * stats. Useful when investigating where cycles go under a new
  * configuration or workload.
  *
- * Usage: example_diag [workload] [refs-per-core] [scheme]
+ * Usage: example_diag [workload] [refs-per-core] [scheme] [faults]
+ *
+ * Passing "faults" as the fourth argument enables the paper-default
+ * fault-injection schedule (CXL link CRC errors, retraining windows,
+ * poisoned lines, migration aborts) and dumps the fault stats too.
  */
 #include <cstdlib>
 #include <iostream>
@@ -30,6 +34,8 @@ main(int argc, char **argv)
                 scheme = s;
         }
     }
+    if (argc > 4 && std::string(argv[4]) == "faults")
+        cfg.fault = paperFaultConfig();
     MultiHostSystem sys(cfg, scheme, *wl, 42);
 
     const std::uint64_t refs =
@@ -92,5 +98,7 @@ main(int argc, char **argv)
         std::cout << sys.localRemapCache(0)->stats().dump() << '\n';
     if (sys.globalRemapCache())
         std::cout << sys.globalRemapCache()->stats().dump() << '\n';
+    if (sys.faultInjector())
+        std::cout << sys.faultInjector()->stats().dump() << '\n';
     return 0;
 }

@@ -7,6 +7,50 @@
 namespace pipm
 {
 
+namespace
+{
+
+/** Whether p is a probability. */
+bool
+inUnit(double p)
+{
+    return p >= 0.0 && p <= 1.0;
+}
+
+} // namespace
+
+void
+FaultConfig::validate() const
+{
+    fatal_if(!inUnit(linkErrorRate),
+             "fault.linkErrorRate must be in [0,1], got ", linkErrorRate);
+    fatal_if(!inUnit(poisonRate),
+             "fault.poisonRate must be in [0,1], got ", poisonRate);
+    fatal_if(!inUnit(persistentPoisonFrac),
+             "fault.persistentPoisonFrac must be in [0,1], got ",
+             persistentPoisonFrac);
+    fatal_if(!inUnit(migrationAbortRate),
+             "fault.migrationAbortRate must be in [0,1], got ",
+             migrationAbortRate);
+    fatal_if(!inUnit(backoffThreshold),
+             "fault.backoffThreshold must be in [0,1], got ",
+             backoffThreshold);
+    fatal_if(retrainIntervalNs < 0.0,
+             "fault.retrainIntervalNs must be non-negative");
+    fatal_if(retrainWindowNs < 0.0,
+             "fault.retrainWindowNs must be non-negative");
+    fatal_if(retrainIntervalNs > 0.0 &&
+                 retrainWindowNs >= retrainIntervalNs,
+             "fault.retrainWindowNs (", retrainWindowNs,
+             ") must be shorter than retrainIntervalNs (",
+             retrainIntervalNs, ")");
+    fatal_if(backoffWindow == 0, "fault.backoffWindow must be positive");
+    fatal_if(backoffBaseNs < 0.0,
+             "fault.backoffBaseNs must be non-negative");
+    fatal_if(backoffMaxExp > 20,
+             "fault.backoffMaxExp above 20 overflows any realistic run");
+}
+
 void
 SystemConfig::validate() const
 {
@@ -19,17 +63,46 @@ SystemConfig::validate() const
              "local DRAM per host smaller than one page");
     fatal_if(cxlPoolBytes() < pageBytes, "CXL pool smaller than one page");
     fatal_if(l1Scale == 0 || llcScale == 0, "cache scales must be positive");
+    fatal_if(l1.ways == 0 || llcPerCore.ways == 0,
+             "cache associativity must be positive");
     fatal_if((l1Bytes() % (lineBytes * l1.ways)) != 0,
              "scaled L1 size not divisible into sets");
     fatal_if((llcBytesPerCore() % (lineBytes * llcPerCore.ways)) != 0,
              "scaled LLC size not divisible into sets");
+    fatal_if(core.width == 0, "core retire width must be positive");
+    fatal_if(core.robEntries == 0, "ROB size must be positive");
+    fatal_if(core.mshrs == 0, "core MSHR count must be positive");
+    fatal_if(link.bytesPerNs <= 0.0,
+             "CXL link bandwidth must be positive, got ", link.bytesPerNs);
+    fatal_if(link.latencyNs < 0.0, "CXL link latency must be non-negative");
+    fatal_if(link.hasSwitch && link.switchBytesPerNs <= 0.0,
+             "CXL switch bandwidth must be positive, got ",
+             link.switchBytesPerNs);
+    fatal_if(localDram.bytesPerCycle <= 0.0 ||
+                 cxlDram.bytesPerCycle <= 0.0,
+             "DRAM bandwidth must be positive");
+    fatal_if(localDram.channels == 0 || cxlDram.channels == 0,
+             "DRAM channel count must be positive");
+    fatal_if(deviceDirectory.ways == 0 || deviceDirectory.sets == 0 ||
+                 deviceDirectory.slices == 0,
+             "device directory geometry must be non-zero");
+    fatal_if(localDirectory.ways == 0 || localDirectory.sets == 0,
+             "local directory geometry must be non-zero");
+    fatal_if(pipm.globalCacheWays == 0 || pipm.localCacheWays == 0,
+             "remapping cache associativity must be positive");
     fatal_if(pipm.migrationThreshold == 0,
              "PIPM migration threshold must be positive");
+    fatal_if(pipm.globalCounterBits == 0 || pipm.globalCounterBits > 8 ||
+                 pipm.localCounterBits == 0 || pipm.localCounterBits > 8,
+             "PIPM counter widths must be in [1,8] bits");
     fatal_if(pipm.migrationThreshold >=
                  (1u << pipm.globalCounterBits),
-             "migration threshold must fit in the global counter");
+             "migration threshold (", pipm.migrationThreshold,
+             ") must fit in the ", pipm.globalCounterBits,
+             "-bit global vote counter");
     fatal_if(osMigration.maxPagesPerEpoch == 0,
              "maxPagesPerEpoch must be positive");
+    fault.validate();
 }
 
 std::string
@@ -102,6 +175,22 @@ testConfig()
     cfg.localDirectory.sets = 256;
     cfg.validate();
     return cfg;
+}
+
+FaultConfig
+paperFaultConfig(std::uint64_t seed)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = seed;
+    f.linkErrorRate = 5e-4;
+    f.retrainIntervalNs = 200'000.0;   // one window per 0.2 ms per host
+    f.retrainWindowNs = 2'000.0;
+    f.poisonRate = 1e-4;
+    f.persistentPoisonFrac = 0.25;
+    f.migrationAbortRate = 0.02;
+    f.validate();
+    return f;
 }
 
 } // namespace pipm

@@ -148,6 +148,52 @@ struct TlbModelConfig
     Cycles walkCycles = 120;
 };
 
+/**
+ * Fault-injection parameters (see DESIGN.md §7). All faults are drawn
+ * from a dedicated deterministic stream seeded by `seed`, so a fault
+ * schedule replays bit-for-bit. A config with `enabled` set but every
+ * rate at zero behaves identically to a disabled one (no RNG draws are
+ * made), which the replay tests rely on.
+ */
+struct FaultConfig
+{
+    bool enabled = false;
+    /** Seed of the fault stream (independent of the run seed). */
+    std::uint64_t seed = 1;
+
+    /** Per-message probability that a CXL flit fails CRC and is
+     *  replayed (retry latency plus a second bandwidth charge). */
+    double linkErrorRate = 0.0;
+
+    /** Period of deterministic link-retraining windows; 0 disables.
+     *  Each host's link retrains on its own phase within the period. */
+    double retrainIntervalNs = 0.0;
+    /** Length of each retraining window (link down, traffic stalls). */
+    double retrainWindowNs = 2'000.0;
+
+    /** Per-line probability that CXL DRAM holds a poisoned line. */
+    double poisonRate = 0.0;
+    /** Fraction of poisoned lines whose poison is persistent: the line
+     *  becomes uncacheable and is served by a degraded retry path. */
+    double persistentPoisonFrac = 0.25;
+
+    /** Per-migration probability that a fault lands mid-migration and
+     *  the partial migration must abort and roll back. */
+    double migrationAbortRate = 0.0;
+
+    /** Link messages per error-rate observation window. */
+    std::uint64_t backoffWindow = 512;
+    /** Observed error rate above which migrations back off. */
+    double backoffThreshold = 0.02;
+    /** Base backoff duration; doubles per consecutive bad window. */
+    double backoffBaseNs = 100'000.0;
+    /** Cap on the backoff exponent (max backoff = base * 2^maxExp). */
+    unsigned backoffMaxExp = 6;
+
+    /** Validate ranges; fatal()s on user error. */
+    void validate() const;
+};
+
 /** OS page-migration mechanism parameters (§5.1.4). */
 struct OsMigrationConfig
 {
@@ -183,6 +229,7 @@ struct SystemConfig
     PipmConfig pipm;
     OsMigrationConfig osMigration;
     TlbModelConfig tlb;
+    FaultConfig fault;
 
     /** Capacities before footprint scaling (Table 2). */
     std::uint64_t localBytesPerHostFull = 32ull << 30;  ///< 32 GB
@@ -328,6 +375,13 @@ SystemConfig defaultConfig();
 
 /** A tiny configuration for unit tests (2 hosts, small memories). */
 SystemConfig testConfig();
+
+/**
+ * The paper-default fault schedule: a mildly lossy fabric (CRC errors on
+ * ~1 in 2000 flits), periodic per-host link retraining, rare poisoned
+ * lines (a quarter persistent) and occasional mid-migration faults.
+ */
+FaultConfig paperFaultConfig(std::uint64_t seed = 1);
 
 } // namespace pipm
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.hh"
+
 namespace pipm
 {
 
@@ -45,13 +47,21 @@ CxlLink::CxlLink(const CxlLinkConfig &cfg, std::string name,
                       "bytes sent device->host");
     stats_.addAverage(&queueDelay, "queue_delay",
                       "cycles waiting for the wire");
+    stats_.addCounter(&crcErrors, "crc_errors",
+                      "messages corrupted and replayed");
+    stats_.addCounter(&replayBytes, "replay_bytes",
+                      "extra wire bytes spent on CRC replays");
 }
 
 Cycles
 CxlLink::transfer(LinkDir dir, unsigned bytes, Cycles now)
 {
     const auto idx = static_cast<unsigned>(dir);
-    const Cycles start = std::max(now, busyUntil_[idx]);
+    // A retraining link accepts no traffic; the message queues behind
+    // the end of the window (and behind earlier queued messages).
+    const Cycles retrain =
+        faults_ ? faults_->retrainDelay(host_, now) : 0;
+    const Cycles start = std::max(now + retrain, busyUntil_[idx]);
     queueDelay.sample(static_cast<double>(start - now));
     const auto serialisation = std::max<Cycles>(
         1, static_cast<Cycles>(static_cast<double>(bytes) / bytesPerCycle_));
@@ -62,6 +72,19 @@ CxlLink::transfer(LinkDir dir, unsigned bytes, Cycles now)
     else
         bytesToHost.inc(bytes);
     Cycles lat = (start - now) + serialisation + propagation_;
+    if (faults_ && faults_->corruptMessage(now)) {
+        // CRC failure: the receiver NAKs (one propagation back) and the
+        // sender re-serialises the whole message. The wire is occupied
+        // for the replay too, so following traffic queues behind it.
+        crcErrors.inc();
+        replayBytes.inc(bytes);
+        if (dir == LinkDir::toDevice)
+            bytesToDevice.inc(bytes);
+        else
+            bytesToHost.inc(bytes);
+        busyUntil_[idx] += serialisation;
+        lat += 2 * propagation_ + serialisation;
+    }
     if (switch_)
         lat += switch_->traverse(dir, bytes, now + lat);
     return lat;

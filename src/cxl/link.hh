@@ -25,6 +25,8 @@
 namespace pipm
 {
 
+class FaultInjector;
+
 /** Direction of travel over a host<->device link. */
 enum class LinkDir : std::uint8_t { toDevice, toHost };
 
@@ -96,17 +98,34 @@ class CxlLink
     /** Propagation-only latency of one traversal (no queuing). */
     Cycles propagation() const { return propagation_; }
 
+    /**
+     * Attach the system's fault injector: messages may then be CRC-
+     * corrupted (replay latency + a second bandwidth charge) or stalled
+     * behind this host's retraining windows.
+     * @param host the host this link belongs to (retraining phase)
+     */
+    void
+    attachFaults(FaultInjector *faults, HostId host)
+    {
+        faults_ = faults;
+        host_ = host;
+    }
+
     StatGroup &stats() { return stats_; }
 
     Counter messages;
     Counter bytesToDevice;
     Counter bytesToHost;
+    Counter crcErrors;     ///< messages corrupted and replayed
+    Counter replayBytes;   ///< extra wire bytes spent on replays
     Average queueDelay;
 
   private:
     double bytesPerCycle_;
     Cycles propagation_;
     CxlSwitch *switch_;
+    FaultInjector *faults_ = nullptr;
+    HostId host_ = 0;
     Cycles busyUntil_[2] = {0, 0};
     StatGroup stats_;
 };

@@ -1,0 +1,179 @@
+#include "fault/fault_injector.hh"
+
+#include <limits>
+
+namespace pipm
+{
+
+namespace
+{
+
+/** splitmix64 finaliser: a stateless hash usable as an RNG draw. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0,1) from a stateless hash of (seed, key). */
+double
+hashU01(std::uint64_t seed, std::uint64_t key)
+{
+    return static_cast<double>(mix(seed ^ mix(key)) >> 11) * 0x1.0p-53;
+}
+
+} // namespace
+
+FaultInjector::FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
+                             std::uint64_t seed)
+    : cfg_(cfg),
+      numHosts_(num_hosts),
+      seed_(seed),
+      rng_(seed),
+      retrainInterval_(nsToCycles(cfg.retrainIntervalNs)),
+      retrainWindow_(nsToCycles(cfg.retrainWindowNs)),
+      retrainPhase_(num_hosts, 0),
+      lastRetrainEpoch_(num_hosts,
+                        std::numeric_limits<std::uint64_t>::max()),
+      stats_("fault")
+{
+    // Spread the hosts' retraining windows over the period so that at
+    // most one link is usually down at a time.
+    if (retrainInterval_ > 0) {
+        for (unsigned h = 0; h < num_hosts; ++h)
+            retrainPhase_[h] = mix(seed ^ (h + 1)) % retrainInterval_;
+    }
+    stats_.addCounter(&linkErrors, "link_errors",
+                      "CRC-corrupted link messages replayed");
+    stats_.addCounter(&retrainEvents, "retrain_events",
+                      "link retraining windows entered");
+    stats_.addCounter(&retrainStallCycles, "retrain_stall_cycles",
+                      "cycles messages waited on a retraining link");
+    stats_.addCounter(&poisonTransient, "poison_transient",
+                      "transiently poisoned lines hit (ECC retry)");
+    stats_.addCounter(&poisonPersistent, "poison_persistent",
+                      "persistently poisoned lines discovered");
+    stats_.addCounter(&degradedAccesses, "degraded_accesses",
+                      "accesses served by the degraded uncached path");
+    stats_.addCounter(&promotionAborts, "promotion_aborts",
+                      "partial migrations aborted and rolled back");
+    stats_.addCounter(&lineAborts, "line_aborts",
+                      "incremental line migrations aborted");
+    stats_.addCounter(&migrationsDeferred, "migrations_deferred",
+                      "vote firings suppressed by link-error backoff");
+    stats_.addCounter(&backoffEntries, "backoff_entries",
+                      "times migration backoff was (re-)armed");
+}
+
+bool
+FaultInjector::corruptMessage(Cycles now)
+{
+    if (cfg_.linkErrorRate <= 0.0)
+        return false;
+    const bool corrupted = rng_.chance(cfg_.linkErrorRate);
+    ++windowMessages_;
+    if (corrupted) {
+        ++windowErrors_;
+        linkErrors.inc();
+    }
+    if (windowMessages_ >= cfg_.backoffWindow) {
+        const double rate = static_cast<double>(windowErrors_) /
+                            static_cast<double>(windowMessages_);
+        if (rate > cfg_.backoffThreshold) {
+            backoffUntil_ =
+                now + nsToCycles(cfg_.backoffBaseNs) *
+                          (Cycles{1} << backoffExp_);
+            if (backoffExp_ < cfg_.backoffMaxExp)
+                ++backoffExp_;
+            backoffEntries.inc();
+        } else if (now >= backoffUntil_) {
+            // A healthy window after the backoff drained: full reset.
+            backoffExp_ = 0;
+        }
+        windowMessages_ = 0;
+        windowErrors_ = 0;
+    }
+    return corrupted;
+}
+
+Cycles
+FaultInjector::retrainDelay(HostId h, Cycles now)
+{
+    if (retrainInterval_ == 0)
+        return 0;
+    const Cycles t = now + retrainPhase_[h];
+    const Cycles into = t % retrainInterval_;
+    if (into >= retrainWindow_)
+        return 0;
+    const std::uint64_t epoch = t / retrainInterval_;
+    if (epoch != lastRetrainEpoch_[h]) {
+        lastRetrainEpoch_[h] = epoch;
+        retrainEvents.inc();
+    }
+    const Cycles delay = retrainWindow_ - into;
+    retrainStallCycles.inc(delay);
+    return delay;
+}
+
+PoisonState
+FaultInjector::poisonCheck(LineAddr line)
+{
+    if (cfg_.poisonRate <= 0.0)
+        return PoisonState::clean;
+    auto it = poison_.find(line);
+    if (it != poison_.end())
+        return it->second;
+    // Stateless per-line draw: independent of access order, so the same
+    // lines are poisoned regardless of which host finds them first.
+    PoisonState state = PoisonState::clean;
+    if (hashU01(seed_, line) < cfg_.poisonRate) {
+        if (hashU01(seed_ ^ 0x706f69736f6e2137ull, line) <
+            cfg_.persistentPoisonFrac) {
+            state = PoisonState::persistentPoison;
+            poisonPersistent.inc();
+        } else {
+            state = PoisonState::transientPoison;
+            poisonTransient.inc();
+        }
+    }
+    // The ECC retry scrubs transient poison: later checks see clean.
+    poison_[line] = state == PoisonState::transientPoison
+                        ? PoisonState::clean
+                        : state;
+    return state;
+}
+
+bool
+FaultInjector::linePersistentlyPoisoned(LineAddr line) const
+{
+    auto it = poison_.find(line);
+    return it != poison_.end() &&
+           it->second == PoisonState::persistentPoison;
+}
+
+bool
+FaultInjector::abortPromotion()
+{
+    if (cfg_.migrationAbortRate <= 0.0)
+        return false;
+    if (!rng_.chance(cfg_.migrationAbortRate))
+        return false;
+    promotionAborts.inc();
+    return true;
+}
+
+bool
+FaultInjector::abortLineMigration()
+{
+    if (cfg_.migrationAbortRate <= 0.0)
+        return false;
+    if (!rng_.chance(cfg_.migrationAbortRate))
+        return false;
+    lineAborts.inc();
+    return true;
+}
+
+} // namespace pipm

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Seeded, deterministic fault injection for the CXL fabric and the PIPM
+ * migration engine (DESIGN.md §7).
+ *
+ * One FaultInjector is shared by the whole system and drives four fault
+ * classes:
+ *
+ *  - transient link CRC errors: a corrupted flit costs a replay round
+ *    trip and a second serialisation charge (modelled in cxl/link.cc);
+ *  - link retraining: each host's link goes down for a fixed window on
+ *    its own deterministic phase within a configurable period, stalling
+ *    queued traffic until the window ends;
+ *  - poisoned lines in CXL DRAM: transient poison forces one ECC retry
+ *    read, persistent poison makes the line uncacheable — the system
+ *    serves it through a degraded remote-access path that never fills a
+ *    cache or allocates a directory entry;
+ *  - mid-migration faults: a promotion or an incremental line migration
+ *    aborts; the system rolls back (promotion) or idempotently completes
+ *    (line writeback falls through to CXL memory) so that no line is
+ *    ever doubly mapped or unreachable.
+ *
+ * All link-message draws come from one xoshiro stream seeded from the
+ * fault seed; per-line poison and retraining phases are stateless hash
+ * draws, so they are independent of access order. A config with every
+ * rate at zero makes no draws at all, which keeps a zero-fault run
+ * bit-identical to a fault-disabled one.
+ *
+ * The injector also implements the degradation policy: the observed link
+ * error rate is measured over windows of `backoffWindow` messages; when
+ * it exceeds `backoffThreshold`, migrations are suspended for an
+ * exponentially growing interval (reset by a healthy window), so the
+ * migration engine stops churning remap state over a flaky fabric.
+ */
+
+#ifndef PIPM_FAULT_FAULT_INJECTOR_HH
+#define PIPM_FAULT_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/config.hh"
+#include "common/rng.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Poison status of one CXL DRAM line. */
+enum class PoisonState : std::uint8_t
+{
+    clean,
+    transientPoison,   ///< one ECC retry scrubs it
+    persistentPoison   ///< uncacheable; degraded path forever
+};
+
+/** Deterministic fault source shared by links, device and migration. */
+class FaultInjector
+{
+  public:
+    /**
+     * @param cfg fault rates and windows
+     * @param num_hosts host count (per-host retraining phases)
+     * @param seed stream seed (mix of run seed and cfg.seed)
+     */
+    FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
+                  std::uint64_t seed);
+
+    // ---- Link faults ---------------------------------------------------
+
+    /**
+     * Draw the CRC fate of one link message and feed the error-rate
+     * window that drives migration backoff.
+     * @return true when the message is corrupted and must be replayed
+     */
+    bool corruptMessage(Cycles now);
+
+    /**
+     * Cycles host h's link is still down for retraining at `now` (0 when
+     * the link is up). Counts each retraining window once.
+     */
+    Cycles retrainDelay(HostId h, Cycles now);
+
+    // ---- Poisoned lines ------------------------------------------------
+
+    /**
+     * Poison status of a CXL DRAM line at its first device read. The
+     * per-line draw is memoised: transient poison is scrubbed by the
+     * retry (later checks return clean), persistent poison is forever.
+     */
+    PoisonState poisonCheck(LineAddr line);
+
+    /** Whether a line has been discovered persistently poisoned. */
+    bool linePersistentlyPoisoned(LineAddr line) const;
+
+    // ---- Migration faults ----------------------------------------------
+
+    /** Draw whether a fault lands mid-promotion (roll back if so). */
+    bool abortPromotion();
+
+    /** Draw whether a fault lands mid-line-migration (complete to CXL). */
+    bool abortLineMigration();
+
+    /** Whether migrations are currently backed off (degraded link). */
+    bool
+    migrationsSuspended(Cycles now) const
+    {
+        return now < backoffUntil_;
+    }
+
+    // ---- Stats ----------------------------------------------------------
+
+    StatGroup &stats() { return stats_; }
+
+    Counter linkErrors;          ///< CRC-corrupted messages replayed
+    Counter retrainEvents;       ///< retraining windows entered
+    Counter retrainStallCycles;  ///< cycles messages waited on retraining
+    Counter poisonTransient;     ///< transiently poisoned lines hit
+    Counter poisonPersistent;    ///< persistently poisoned lines found
+    Counter degradedAccesses;    ///< accesses served by the degraded path
+    Counter promotionAborts;     ///< promotions aborted and rolled back
+    Counter lineAborts;          ///< line migrations aborted mid-flight
+    Counter migrationsDeferred;  ///< vote firings suppressed by backoff
+    Counter backoffEntries;      ///< times the backoff window re-armed
+
+  private:
+    FaultConfig cfg_;
+    unsigned numHosts_;
+    std::uint64_t seed_;
+    Rng rng_;
+
+    Cycles retrainInterval_;
+    Cycles retrainWindow_;
+    std::vector<Cycles> retrainPhase_;              ///< per host
+    std::vector<std::uint64_t> lastRetrainEpoch_;   ///< per host
+
+    std::uint64_t windowMessages_ = 0;
+    std::uint64_t windowErrors_ = 0;
+    Cycles backoffUntil_ = 0;
+    unsigned backoffExp_ = 0;
+
+    std::unordered_map<LineAddr, PoisonState> poison_;
+    StatGroup stats_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_FAULT_FAULT_INJECTOR_HH

@@ -132,7 +132,8 @@ PipmState::migrationAllowed(PageFrame cxl_page) const
 }
 
 VoteOutcome
-PipmState::deviceAccess(PageFrame cxl_page, HostId requester)
+PipmState::deviceAccess(PageFrame cxl_page, HostId requester,
+                        bool allow_promote)
 {
     VoteOutcome out;
     if (!migrationAllowed(cxl_page))
@@ -145,6 +146,10 @@ PipmState::deviceAccess(PageFrame cxl_page, HostId requester)
         const HostId target =
             static_cast<HostId>(cxl_page % numHosts_);
         if (g.curHost == invalidHost && requester == target) {
+            if (!allow_promote) {
+                out.suppressed = true;
+                return out;
+            }
             if (installLocalEntry(target, cxl_page)) {
                 g.curHost = target;
                 out.promoted = true;
@@ -156,6 +161,10 @@ PipmState::deviceAccess(PageFrame cxl_page, HostId requester)
 
     const bool fired = voteUpdate(g, requester);
     if (fired && g.curHost == invalidHost) {
+        if (!allow_promote) {
+            out.suppressed = true;
+            return out;
+        }
         if (installLocalEntry(requester, cxl_page)) {
             g.curHost = requester;
             out.promoted = true;
@@ -234,6 +243,60 @@ PipmState::revoke(HostId h, PageFrame cxl_page)
     git->second.counter = 0;
     revocations.inc();
     return bitmap;
+}
+
+void
+PipmState::abortPromotion(HostId h, PageFrame cxl_page)
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(),
+             "aborting promotion of page ", cxl_page,
+             " without local entry on host ", int(h));
+    panic_if(it->second.lineBitmap != 0,
+             "aborting promotion of page ", cxl_page,
+             " after lines already migrated");
+    space_.freePipmFrame(h, it->second.localPfn);
+    local_[h].erase(it);
+
+    auto git = global_.find(cxl_page);
+    panic_if(git == global_.end(),
+             "aborted promotion has no global entry");
+    git->second.curHost = invalidHost;
+    git->second.candHost = invalidHost;
+    git->second.counter = 0;
+}
+
+void
+PipmState::checkRemapInvariants() const
+{
+    for (unsigned h = 0; h < numHosts_; ++h) {
+        std::unordered_set<PageFrame> frames;
+        std::uint64_t lines = 0;
+        for (const auto &[page, entry] : local_[h]) {
+            auto git = global_.find(page);
+            panic_if(git == global_.end() ||
+                         git->second.curHost != static_cast<HostId>(h),
+                     "local entry for page ", page, " on host ", h,
+                     " without a matching global curHost");
+            panic_if(!frames.insert(entry.localPfn).second,
+                     "local frame ", entry.localPfn,
+                     " doubly mapped on host ", h);
+            lines += static_cast<std::uint64_t>(
+                std::popcount(entry.lineBitmap));
+        }
+        panic_if(lines != linesOn_[h], "host ", h, " line accounting: ",
+                 linesOn_[h], " counted vs ", lines, " in bitmaps");
+    }
+    for (const auto &[page, g] : global_) {
+        if (g.curHost == invalidHost)
+            continue;
+        panic_if(g.curHost >= numHosts_,
+                 "global entry for page ", page,
+                 " names out-of-range host ", int(g.curHost));
+        panic_if(!local_[g.curHost].contains(page),
+                 "global curHost ", int(g.curHost), " for page ", page,
+                 " has no local entry (unreachable migrated page)");
+    }
 }
 
 } // namespace pipm

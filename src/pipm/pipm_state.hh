@@ -62,6 +62,10 @@ struct VoteOutcome
 {
     bool promoted = false;           ///< a partial migration was initiated
     HostId promotedTo = invalidHost;
+    /** The vote fired but promotion was suppressed (migration backoff).
+     *  The counter stays at threshold, so promotion resumes naturally
+     *  once the link is healthy again. */
+    bool suppressed = false;
 };
 
 /** Outcome of an inter-host access touching a migrated page. */
@@ -129,8 +133,11 @@ class PipmState
      * `requester` to a page: update the majority vote and possibly
      * initiate a partial migration (vote mode), or lazily instantiate the
      * static mapping (staticMap mode).
+     * @param allow_promote when false (migration backoff under link
+     *        faults) the vote still updates but a firing is suppressed
      */
-    VoteOutcome deviceAccess(PageFrame cxl_page, HostId requester);
+    VoteOutcome deviceAccess(PageFrame cxl_page, HostId requester,
+                             bool allow_promote = true);
 
     /**
      * A local LLC-miss access by the owning host to a page migrated to it
@@ -157,6 +164,23 @@ class PipmState
      * @return bitmap of lines that must be written back to CXL memory
      */
     std::uint64_t revoke(HostId h, PageFrame cxl_page);
+
+    /**
+     * Roll back a just-initiated promotion whose setup was interrupted
+     * by a fault: release the local frame, drop the local entry and
+     * reset the global entry. Only legal before any line has migrated
+     * (the bitmap must still be empty); afterwards the page is exactly
+     * as if the vote had never fired.
+     */
+    void abortPromotion(HostId h, PageFrame cxl_page);
+
+    /**
+     * Check the remap-table invariants: every local entry matches a
+     * global curHost (and vice versa), no local frame is doubly mapped,
+     * and the per-host line accounting equals the bitmap population.
+     * Panics on violation. For tests and the fault-schedule checker.
+     */
+    void checkRemapInvariants() const;
 
     // ---- Stats ---------------------------------------------------------
 

@@ -14,6 +14,10 @@ RunResult
 runExperiment(const SystemConfig &cfg, Scheme scheme,
               const Workload &workload, const RunConfig &run)
 {
+    // Reject nonsensical configurations before building the machine; the
+    // system constructor validates too, but failing here keeps the error
+    // at the experiment boundary every harness goes through.
+    cfg.validate();
     MultiHostSystem system(cfg, scheme, workload, run.seed);
 
     struct CoreSlot
@@ -173,6 +177,18 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     if (HarmfulTracker *t = system.harmfulTracker()) {
         out.harmfulMigrations = t->harmfulMigrations();
         out.totalTrackedMigrations = t->totalMigrations();
+    }
+    if (FaultInjector *f = system.faultInjector()) {
+        for (unsigned h = 0; h < cfg.numHosts; ++h)
+            out.linkCrcErrors +=
+                system.link(static_cast<HostId>(h)).crcErrors.value();
+        out.linkRetrainEvents = f->retrainEvents.value();
+        out.poisonEvents =
+            f->poisonTransient.value() + f->poisonPersistent.value();
+        out.degradedAccesses = f->degradedAccesses.value();
+        out.migrationAborts =
+            f->promotionAborts.value() + f->lineAborts.value();
+        out.migrationsDeferred = f->migrationsDeferred.value();
     }
     out.pageFootprintFrac = samples ? page_frac_sum / samples : 0.0;
     out.lineFootprintFrac = samples ? line_frac_sum / samples : 0.0;

@@ -62,6 +62,14 @@ struct RunResult
     std::uint64_t harmfulMigrations = 0;
     std::uint64_t totalTrackedMigrations = 0;
 
+    // Fault injection (all zero when cfg.fault.enabled is false).
+    std::uint64_t linkCrcErrors = 0;     ///< corrupted+replayed messages
+    std::uint64_t linkRetrainEvents = 0; ///< retraining windows hit
+    std::uint64_t poisonEvents = 0;      ///< poisoned lines encountered
+    std::uint64_t degradedAccesses = 0;  ///< uncacheable poisoned-line trips
+    std::uint64_t migrationAborts = 0;   ///< promotions + line moves aborted
+    std::uint64_t migrationsDeferred = 0;///< vote firings backed off
+
     /** Fig. 13: mean per-host local footprint / total footprint. */
     double pageFootprintFrac = 0.0;
     /** Fig. 13 (PIPM-line): actually migrated lines / total footprint. */

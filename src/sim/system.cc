@@ -68,6 +68,11 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
 {
     cfg_.validate();
 
+    if (cfg.fault.enabled) {
+        faults_ = std::make_unique<FaultInjector>(
+            cfg.fault, cfg.numHosts,
+            seed ^ (cfg.fault.seed * 0x9e3779b97f4a7c15ull));
+    }
     if (cfg.link.hasSwitch) {
         switch_ = std::make_unique<CxlSwitch>(cfg.link.switchBytesPerNs,
                                               cfg.link.switchNs);
@@ -81,6 +86,9 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
                                                  "local_dram");
         host.link = std::make_unique<CxlLink>(cfg.link, "link",
                                               switch_.get());
+        if (faults_)
+            host.link->attachFaults(faults_.get(),
+                                    static_cast<HostId>(h));
         host.pendingStall.assign(cfg.coresPerHost, 0);
         if (cfg.tlb.enabled) {
             TlbConfig tlb_cfg;
@@ -605,10 +613,30 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     if (pipm_) {
         // Majority vote: device-visible accesses update the global
         // remapping entry. The update itself is off the critical path
-        // (the global table is only *waited on* when forwarding).
-        const VoteOutcome vote = pipm_->deviceAccess(page, h);
-        if (vote.promoted && hosts_[vote.promotedTo].localRemap)
-            hosts_[vote.promotedTo].localRemap->invalidate(page);
+        // (the global table is only *waited on* when forwarding). Under
+        // migration backoff (link error rate too high) the vote still
+        // counts but a firing is suppressed until the link is healthy.
+        const bool allow =
+            !faults_ || !faults_->migrationsSuspended(now);
+        const VoteOutcome vote = pipm_->deviceAccess(page, h, allow);
+        if (vote.suppressed && faults_)
+            faults_->migrationsDeferred.inc();
+        if (vote.promoted) {
+            if (faults_ && faults_->abortPromotion()) {
+                // The promotion setup (frame allocation + table install)
+                // was interrupted mid-flight: roll everything back. No
+                // line has migrated yet, so the rollback restores the
+                // exact pre-vote state; the aborted setup still costs
+                // two header round-trips on the would-be owner's link.
+                pipm_->abortPromotion(vote.promotedTo, page);
+                hosts_[vote.promotedTo].link->transfer(
+                    LinkDir::toHost, CxlFlits::header, now);
+                hosts_[vote.promotedTo].link->transfer(
+                    LinkDir::toDevice, CxlFlits::header, now);
+            } else if (hosts_[vote.promotedTo].localRemap) {
+                hosts_[vote.promotedTo].localRemap->invalidate(page);
+            }
+        }
     }
 
     DirEntry *entry = deviceDir_.lookup(line);
@@ -897,6 +925,27 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     // Plain CXL memory access (Fig. 2 step 7). The PIPM in-memory bit
     // travels with the data, costing nothing extra.
     lat += cxlDram_.access(pa - cfg_.cxlBase(), now, false);
+    if (faults_) {
+        // Every first access to an uncached CXL line comes through this
+        // path, so it is the single place the device's ECC surfaces
+        // poison. A transient error is cured by one on-device scrubbing
+        // retry; persistent poison demotes the line to an uncacheable
+        // degraded path forever (it never fills a cache and never gets a
+        // directory entry, so this path is re-taken on every access).
+        switch (faults_->poisonCheck(line)) {
+          case PoisonState::transientPoison:
+            lat += cxlDram_.access(pa - cfg_.cxlBase(), now + lat, false);
+            break;
+          case PoisonState::persistentPoison:
+            lat += degradedLineAccess(h, line, pa, op, now, wdata, rdata);
+            cxlServedMisses.inc();
+            avgSharedMissLatency.sample(static_cast<double>(lat));
+            avgCxlMissLatency.sample(static_cast<double>(lat));
+            return lat;
+          case PoisonState::clean:
+            break;
+        }
+    }
     const std::uint64_t data = mem_.read(line);
     lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
                                     now);
@@ -916,6 +965,38 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     cxlServedMisses.inc();
     avgSharedMissLatency.sample(static_cast<double>(lat));
     avgCxlMissLatency.sample(static_cast<double>(lat));
+    return lat;
+}
+
+Cycles
+MultiHostSystem::degradedLineAccess(HostId h, LineAddr line, PhysAddr pa,
+                                    MemOp op, Cycles now,
+                                    std::uint64_t wdata,
+                                    std::uint64_t *rdata)
+{
+    faults_->degradedAccesses.inc();
+    Cycles lat = 0;
+    // The device NAKs the cacheable request with a poison indication...
+    lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::header,
+                                    now);
+    // ...and the host retries uncacheably: request (with write data) out,
+    // scrubbed DRAM access on the device, data (or completion) back.
+    lat += hosts_[h].link->transfer(LinkDir::toDevice,
+                                    op == MemOp::write ? CxlFlits::data
+                                                       : CxlFlits::header,
+                                    now + lat);
+    lat += cxlDram_.access(pa - cfg_.cxlBase(), now + lat,
+                           op == MemOp::write);
+    if (op == MemOp::write) {
+        // Uncacheable writes go straight through to memory.
+        mem_.write(line, wdata);
+        lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::header,
+                                        now + lat);
+    } else {
+        *rdata = mem_.read(line);
+        lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
+                                        now + lat);
+    }
     return lat;
 }
 
@@ -1045,7 +1126,8 @@ MultiHostSystem::handleEviction(HostId h,
 
         if (pipm_ && ev.state == HostState::M &&
             pipm_->migratedHostOf(page) == h &&
-            !pipm_->lineMigrated(h, page, li)) {
+            !pipm_->lineMigrated(h, page, li) &&
+            !(faults_ && faults_->abortLineMigration())) {
             // Case 1: incremental migration on local writeback. The data
             // is written to the page's local frame instead of CXL memory;
             // both in-memory bits flip and the device directory entry is
@@ -1065,7 +1147,10 @@ MultiHostSystem::handleEviction(HostId h,
         }
 
         // Normal eviction: dirty data (M) goes back to CXL memory; clean
-        // lines just notify the directory.
+        // lines just notify the directory. An aborted case-1 line
+        // migration also lands here: the bit-flip never happened, so the
+        // safe completion is the ordinary writeback to CXL memory —
+        // neither copy is lost and no bit is left half-set.
         if (ev.state == HostState::M && ev.dirty) {
             mem_.write(ev.line, ev.data);
             hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::data,
@@ -1249,6 +1334,10 @@ MultiHostSystem::resetStats()
         globalRemap_->stats().resetAll();
     if (pipm_)
         pipm_->stats().resetAll();
+    if (faults_)
+        faults_->stats().resetAll();
+    if (switch_)
+        switch_->stats().resetAll();
 }
 
 void
@@ -1258,6 +1347,8 @@ MultiHostSystem::checkInvariants() const
     // may be cached at several hosts but never alongside M.
     // Directory precision: device-M lines are cached in M at exactly the
     // owner; PIPM bitmap lines have no directory entry.
+    if (pipm_)
+        pipm_->checkRemapInvariants();
     const PhysAddr cxl_base = cfg_.cxlBase();
     const PhysAddr cxl_end = cfg_.addressSpaceEnd();
     for (LineAddr line = lineOf(cxl_base); line < lineOf(cxl_end); ++line) {
@@ -1281,6 +1372,15 @@ MultiHostSystem::checkInvariants() const
         panic_if(m_holders == 1 && s_holders > 0,
                  "SWMR violated: line ", line,
                  " cached M alongside S copies");
+        if (faults_ && faults_->linePersistentlyPoisoned(line)) {
+            // A persistently poisoned line is only ever served via the
+            // uncacheable degraded path: nothing may cache it and the
+            // directory must not track it.
+            panic_if(m_holders + s_holders > 0, "poisoned line ", line,
+                     " is cached somewhere");
+            panic_if(deviceDir_.probe(line) != nullptr, "poisoned line ",
+                     line, " has a device directory entry");
+        }
         if (scheme_ == Scheme::localOnly)
             continue;
         const DirEntry *entry = deviceDir_.probe(line);

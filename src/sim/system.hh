@@ -31,6 +31,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "cxl/link.hh"
+#include "fault/fault_injector.hh"
 #include "mem/dram.hh"
 #include "mem/memory_image.hh"
 #include "migration/harmful.hh"
@@ -123,6 +124,8 @@ class MultiHostSystem
         return hosts_[h].localRemap.get();
     }
     RemapCache *globalRemapCache() { return globalRemap_.get(); }
+    /** The fault injector, or nullptr when injection is disabled. */
+    FaultInjector *faultInjector() { return faults_.get(); }
 
     /** Host a shared page is currently OS-migrated to (or invalidHost). */
     HostId gimHostOf(std::uint64_t shared_idx) const;
@@ -195,6 +198,17 @@ class MultiHostSystem
                        Cycles now, std::uint64_t wdata,
                        std::uint64_t *rdata);
 
+    /**
+     * Degraded access to a persistently poisoned CXL line: the device
+     * NAKs with poison, the host retries uncacheably. The line is never
+     * filled into a cache and never gets a directory entry, so coherence
+     * holds trivially; reads and writes go straight to (scrubbed) CXL
+     * DRAM. Returns the extra latency beyond the initial device trip.
+     */
+    Cycles degradedLineAccess(HostId h, LineAddr line, PhysAddr pa,
+                              MemOp op, Cycles now, std::uint64_t wdata,
+                              std::uint64_t *rdata);
+
     // ---- Protocol helpers ----------------------------------------------
 
     /** S->M upgrade at the device directory (write hit on shared line). */
@@ -246,6 +260,7 @@ class MultiHostSystem
     std::unique_ptr<AddressSpace> space_;
     MemoryImage mem_;
 
+    std::unique_ptr<FaultInjector> faults_;   ///< nullptr: no injection
     std::unique_ptr<CxlSwitch> switch_;   ///< shared fabric stage
     std::vector<Host> hosts_;
     DeviceDirectory deviceDir_;

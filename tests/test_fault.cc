@@ -1,0 +1,410 @@
+/**
+ * @file
+ * Fault-injection subsystem tests: configuration validation, deterministic
+ * replay, zero-rate identity, link CRC replay and retraining behaviour,
+ * poisoned-line handling (transient scrub and persistent degraded path),
+ * migration abort/rollback, link-degradation backoff, and the randomised
+ * fault-schedule checker.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "sim/runner.hh"
+#include "sim/system.hh"
+#include "verify/fault_schedule.hh"
+#include "workloads/catalog.hh"
+
+namespace pipm
+{
+namespace
+{
+
+struct ThrowOnErrorGuard
+{
+    ThrowOnErrorGuard() { detail::throwOnError = true; }
+    ~ThrowOnErrorGuard() { detail::throwOnError = false; }
+};
+
+/** A trivial workload wrapper so tests can size the heap directly. */
+class TinyWorkload : public Workload
+{
+  public:
+    TinyWorkload(std::uint64_t shared_bytes, std::uint64_t private_bytes)
+        : shared_(shared_bytes), private_(private_bytes)
+    {
+    }
+
+    std::string name() const override { return "tiny"; }
+    std::string suite() const override { return "test"; }
+    std::uint64_t footprintBytes() const override { return shared_; }
+    std::uint64_t sharedBytes() const override { return shared_; }
+    std::uint64_t privateBytesPerHost() const override { return private_; }
+    std::string fingerprint() const override { return "tiny"; }
+
+    std::unique_ptr<CoreTrace>
+    makeTrace(HostId, CoreId, unsigned, unsigned,
+              std::uint64_t) const override
+    {
+        panic("TinyWorkload has no traces; drive the system directly");
+    }
+
+  private:
+    std::uint64_t shared_;
+    std::uint64_t private_;
+};
+
+MemRef
+sharedRef(std::uint64_t page, unsigned line, MemOp op)
+{
+    MemRef r;
+    r.shared = true;
+    r.page = page;
+    r.lineIdx = static_cast<std::uint8_t>(line);
+    r.op = op;
+    return r;
+}
+
+/** Fault config with every rate zero (but injection "enabled"). */
+FaultConfig
+quietFaults(std::uint64_t seed = 1)
+{
+    FaultConfig f;
+    f.enabled = true;
+    f.seed = seed;
+    return f;
+}
+
+/** A small synthetic workload compatible with testConfig capacities. */
+std::unique_ptr<Workload>
+smallWorkload()
+{
+    PatternParams p;
+    p.name = "small";
+    p.suite = "test";
+    p.footprintFullBytes = 8ull << 30;
+    p.partitionAffinity = 0.9;
+    p.zipfTheta = 0.8;
+    p.readFrac = 0.8;
+    p.seqRunLines = 8;
+    p.gapMean = 20;
+    p.privateFrac = 0.2;
+    p.globalHotFrac = 0.08;
+    p.scanFrac = 0.5;
+    p.scanSpanFrac = 0.05;
+    p.phaseRefs = 20'000;
+    return std::make_unique<SyntheticWorkload>(p, 256);
+}
+
+RunConfig
+shortRun()
+{
+    RunConfig run;
+    run.warmupRefsPerCore = 2'000;
+    run.measureRefsPerCore = 8'000;
+    run.footprintSampleEvery = 8'000;
+    return run;
+}
+
+TEST(FaultConfigValidate, RejectsNonsense)
+{
+    ThrowOnErrorGuard guard;
+    FaultConfig f;
+    f.linkErrorRate = 1.5;
+    EXPECT_THROW(f.validate(), SimError);
+
+    f = FaultConfig{};
+    f.retrainIntervalNs = 1'000.0;
+    f.retrainWindowNs = 1'000.0;   // window must be < interval
+    EXPECT_THROW(f.validate(), SimError);
+
+    f = FaultConfig{};
+    f.backoffWindow = 0;
+    EXPECT_THROW(f.validate(), SimError);
+
+    f = FaultConfig{};
+    f.persistentPoisonFrac = -0.1;
+    EXPECT_THROW(f.validate(), SimError);
+
+    EXPECT_NO_THROW(paperFaultConfig().validate());
+}
+
+TEST(FaultConfigValidate, SystemValidateCoversMachineGeometry)
+{
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.link.bytesPerNs = 0.0;
+    EXPECT_THROW(cfg.validate(), SimError);
+
+    cfg = testConfig();
+    cfg.pipm.globalCounterBits = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+
+    cfg = testConfig();
+    cfg.cxlDram.channels = 0;
+    EXPECT_THROW(cfg.validate(), SimError);
+
+    // runExperiment and the system constructor both reject early.
+    cfg = testConfig();
+    cfg.fault.enabled = true;
+    cfg.fault.poisonRate = 2.0;
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    EXPECT_THROW(runExperiment(cfg, Scheme::native, wl, shortRun()),
+                 SimError);
+}
+
+TEST(FaultReplay, ZeroRatesAreIdenticalToDisabled)
+{
+    SystemConfig plain = testConfig();
+    SystemConfig quiet = testConfig();
+    quiet.fault = quietFaults();
+
+    auto wl = smallWorkload();
+    const RunResult a = runExperiment(plain, Scheme::pipmFull, *wl,
+                                      shortRun());
+    const RunResult b = runExperiment(quiet, Scheme::pipmFull, *wl,
+                                      shortRun());
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.sharedLlcMisses, b.sharedLlcMisses);
+    EXPECT_EQ(a.pipmLinesIn, b.pipmLinesIn);
+    EXPECT_EQ(a.pipmPromotions, b.pipmPromotions);
+    EXPECT_EQ(b.linkCrcErrors, 0u);
+    EXPECT_EQ(b.linkRetrainEvents, 0u);
+    EXPECT_EQ(b.poisonEvents, 0u);
+    EXPECT_EQ(b.migrationAborts, 0u);
+}
+
+TEST(FaultReplay, SameSeedIsBitForBitDeterministic)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = paperFaultConfig(3);
+
+    auto wl = smallWorkload();
+    const RunResult a = runExperiment(cfg, Scheme::pipmFull, *wl,
+                                      shortRun());
+    const RunResult b = runExperiment(cfg, Scheme::pipmFull, *wl,
+                                      shortRun());
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.sharedLlcMisses, b.sharedLlcMisses);
+    EXPECT_EQ(a.linkCrcErrors, b.linkCrcErrors);
+    EXPECT_EQ(a.linkRetrainEvents, b.linkRetrainEvents);
+    EXPECT_EQ(a.poisonEvents, b.poisonEvents);
+    EXPECT_EQ(a.migrationAborts, b.migrationAborts);
+    EXPECT_EQ(a.migrationsDeferred, b.migrationsDeferred);
+    EXPECT_GT(a.linkCrcErrors, 0u);
+
+    SystemConfig other = cfg;
+    other.fault.seed = 4;
+    const RunResult c = runExperiment(other, Scheme::pipmFull, *wl,
+                                      shortRun());
+    EXPECT_NE(a.execCycles, c.execCycles);
+}
+
+TEST(FaultLink, CrcReplayAddsLatencyAndWireBytes)
+{
+    const SystemConfig cfg = testConfig();
+    FaultConfig f = quietFaults(5);
+    f.linkErrorRate = 1.0;   // corrupt every message
+    FaultInjector faults(f, 1, 5);
+
+    CxlLink clean(cfg.link, "clean");
+    CxlLink faulty(cfg.link, "faulty");
+    faulty.attachFaults(&faults, 0);
+
+    const Cycles base = clean.transfer(LinkDir::toDevice, CxlFlits::data,
+                                       0);
+    const Cycles replayed = faulty.transfer(LinkDir::toDevice,
+                                            CxlFlits::data, 0);
+    EXPECT_GT(replayed, base);
+    EXPECT_EQ(faulty.crcErrors.value(), 1u);
+    EXPECT_EQ(faulty.replayBytes.value(), CxlFlits::data);
+    EXPECT_EQ(faulty.bytesToDevice.value(), 2u * CxlFlits::data);
+    EXPECT_EQ(faults.linkErrors.value(), 1u);
+}
+
+TEST(FaultLink, RetrainingStallsTheLinkOncePerWindow)
+{
+    FaultConfig f = quietFaults(7);
+    f.retrainIntervalNs = 1'000.0;
+    f.retrainWindowNs = 100.0;
+    FaultInjector faults(f, 2, 7);
+
+    const Cycles interval = nsToCycles(1'000.0);
+    bool stalled = false;
+    for (Cycles now = 0; now < 3 * interval; now += 7)
+        stalled = faults.retrainDelay(0, now) > 0 || stalled;
+    EXPECT_TRUE(stalled);
+    // The sweep spans three interval lengths; depending on where the
+    // host's random phase falls it clips either the first or an extra
+    // trailing window.
+    EXPECT_GE(faults.retrainEvents.value(), 3u);
+    EXPECT_LE(faults.retrainEvents.value(), 4u);
+    EXPECT_GT(faults.retrainStallCycles.value(), 0u);
+
+    // Host 1 has its own phase; with zero interval nothing ever stalls.
+    FaultConfig off = quietFaults(7);
+    FaultInjector no_retrain(off, 2, 7);
+    for (Cycles now = 0; now < 3 * interval; now += 7)
+        EXPECT_EQ(no_retrain.retrainDelay(1, now), 0u);
+    EXPECT_EQ(no_retrain.retrainEvents.value(), 0u);
+}
+
+TEST(FaultPoison, PersistentPoisonServedByDegradedUncacheablePath)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults(11);
+    cfg.fault.poisonRate = 1.0;
+    cfg.fault.persistentPoisonFrac = 1.0;   // every line poisoned forever
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem sys(cfg, Scheme::pipmFull, wl, 7);
+    FaultInjector &faults = *sys.faultInjector();
+
+    Cycles now = 0;
+    const AccessResult w =
+        sys.access(0, 0, sharedRef(1, 3, MemOp::write), now, 777);
+    now += 10'000;
+    const AccessResult r =
+        sys.access(1, 0, sharedRef(1, 3, MemOp::read), now);
+    EXPECT_EQ(r.data, 777u);
+    EXPECT_GT(w.latency, 0u);
+    EXPECT_GE(faults.poisonPersistent.value(), 1u);
+    EXPECT_EQ(faults.degradedAccesses.value(), 2u);
+
+    // The poisoned line is never cached on either host and never gets a
+    // directory entry; checkInvariants asserts exactly this.
+    const LineAddr line =
+        lineOf(pageBase(sys.space().sharedFrame(1)) + 3 * lineBytes);
+    EXPECT_EQ(sys.hierarchy(0).stateOf(line), HostState::I);
+    EXPECT_EQ(sys.hierarchy(1).stateOf(line), HostState::I);
+    EXPECT_EQ(sys.deviceDirectory().probe(line), nullptr);
+    sys.checkInvariants();
+}
+
+TEST(FaultPoison, TransientPoisonIsScrubbedByOneRetry)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults(13);
+    cfg.fault.poisonRate = 1.0;
+    cfg.fault.persistentPoisonFrac = 0.0;   // every hit scrubs clean
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem sys(cfg, Scheme::pipmFull, wl, 7);
+    FaultInjector &faults = *sys.faultInjector();
+
+    const AccessResult w =
+        sys.access(0, 0, sharedRef(2, 4, MemOp::write), 0, 42);
+    (void)w;
+    EXPECT_GE(faults.poisonTransient.value(), 1u);
+    EXPECT_EQ(faults.poisonPersistent.value(), 0u);
+    EXPECT_EQ(faults.degradedAccesses.value(), 0u);
+
+    // Scrubbed: the line cached normally and reads back the new value.
+    const LineAddr line =
+        lineOf(pageBase(sys.space().sharedFrame(2)) + 4 * lineBytes);
+    EXPECT_EQ(sys.hierarchy(0).stateOf(line), HostState::M);
+    const AccessResult r =
+        sys.access(0, 0, sharedRef(2, 4, MemOp::read), 10'000);
+    EXPECT_EQ(r.data, 42u);
+    sys.checkInvariants();
+}
+
+TEST(FaultMigration, PromotionAbortRollsBackCleanly)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults(17);
+    cfg.fault.migrationAbortRate = 1.0;   // every migration fault-aborts
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem sys(cfg, Scheme::pipmFull, wl, 7);
+    PipmState &pipm = *sys.pipmState();
+    FaultInjector &faults = *sys.faultInjector();
+
+    Cycles now = 0;
+    for (unsigned i = 0; i < 4 * cfg.pipm.migrationThreshold; ++i) {
+        sys.access(0, 0, sharedRef(2, i % linesPerPage, MemOp::write),
+                   now, i);
+        now += 10'000;
+    }
+    // Every firing was rolled back: no local entry, no migrated host, no
+    // leaked frames — and the rollback left the vote free to re-fire.
+    const PageFrame cxl_page =
+        pageOf(pageBase(sys.space().sharedFrame(2)));
+    EXPECT_EQ(pipm.migratedHostOf(cxl_page), invalidHost);
+    EXPECT_FALSE(pipm.hasLocalEntry(0, cxl_page));
+    EXPECT_GE(faults.promotionAborts.value(), 2u);
+    EXPECT_EQ(pipm.promotions.value(), faults.promotionAborts.value());
+    EXPECT_EQ(pipm.migratedLinesOn(0), 0u);
+    sys.checkInvariants();
+}
+
+TEST(FaultMigration, LineMigrationAbortDrawsAreCounted)
+{
+    FaultConfig f = quietFaults(19);
+    f.migrationAbortRate = 1.0;
+    FaultInjector faults(f, 2, 19);
+    EXPECT_TRUE(faults.abortLineMigration());
+    EXPECT_TRUE(faults.abortLineMigration());
+    EXPECT_EQ(faults.lineAborts.value(), 2u);
+
+    FaultInjector quiet(quietFaults(19), 2, 19);
+    EXPECT_FALSE(quiet.abortLineMigration());
+    EXPECT_FALSE(quiet.abortPromotion());
+    EXPECT_EQ(quiet.lineAborts.value(), 0u);
+}
+
+TEST(FaultBackoff, HighErrorRateDefersMigrations)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults(23);
+    cfg.fault.linkErrorRate = 1.0;    // hopeless link
+    cfg.fault.backoffWindow = 4;
+    cfg.fault.backoffBaseNs = 1e6;    // back off for a long time
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem sys(cfg, Scheme::pipmFull, wl, 7);
+    PipmState &pipm = *sys.pipmState();
+    FaultInjector &faults = *sys.faultInjector();
+
+    Cycles now = 0;
+    for (unsigned i = 0; i < 4 * cfg.pipm.migrationThreshold; ++i) {
+        sys.access(0, 0, sharedRef(2, i % linesPerPage, MemOp::write),
+                   now, i);
+        now += 100;
+    }
+    const PageFrame cxl_page =
+        pageOf(pageBase(sys.space().sharedFrame(2)));
+    EXPECT_GT(faults.backoffEntries.value(), 0u);
+    EXPECT_GT(faults.migrationsDeferred.value(), 0u);
+    EXPECT_TRUE(faults.migrationsSuspended(now));
+    EXPECT_EQ(pipm.migratedHostOf(cxl_page), invalidHost);
+    EXPECT_EQ(pipm.promotions.value(), 0u);
+    sys.checkInvariants();
+}
+
+TEST(FaultSchedules, RandomisedCheckingFindsNoViolations)
+{
+    const FaultCheckResult pipm_res =
+        checkFaultSchedules(testConfig(), Scheme::pipmFull, 2, 5'000, 2);
+    EXPECT_TRUE(pipm_res.ok) << pipm_res.violation;
+    EXPECT_EQ(pipm_res.accesses, 10'000u);
+    EXPECT_GT(pipm_res.faultsInjected, 0u);
+
+    const FaultCheckResult hw_res =
+        checkFaultSchedules(testConfig(), Scheme::hwStatic, 1, 5'000, 3);
+    EXPECT_TRUE(hw_res.ok) << hw_res.violation;
+}
+
+TEST(FaultSchedules, PaperDefaultsProduceAllFaultClasses)
+{
+    SystemConfig cfg = testConfig();
+    cfg.fault = paperFaultConfig(29);
+    cfg.fault.retrainIntervalNs = 20'000.0;   // shrink to test scale
+    cfg.fault.migrationAbortRate = 0.2;
+
+    auto wl = smallWorkload();
+    const RunResult r = runExperiment(cfg, Scheme::pipmFull, *wl,
+                                      shortRun());
+    EXPECT_GT(r.linkCrcErrors, 0u);
+    EXPECT_GE(r.linkRetrainEvents, 1u);
+    EXPECT_GE(r.migrationAborts, 1u);
+}
+
+} // namespace
+} // namespace pipm
