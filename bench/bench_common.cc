@@ -39,7 +39,10 @@ serialize(const RunResult &r)
        << r.pageFootprintFrac << '\t' << r.lineFootprintFrac << '\t'
        << r.linkCrcErrors << '\t' << r.linkRetrainEvents << '\t'
        << r.poisonEvents << '\t' << r.degradedAccesses << '\t'
-       << r.migrationAborts << '\t' << r.migrationsDeferred;
+       << r.migrationAborts << '\t' << r.migrationsDeferred << '\t'
+       << r.hostCrashes << '\t' << r.hostRejoins << '\t'
+       << r.crashLinesReclaimed << '\t' << r.crashDirtyLinesLost << '\t'
+       << r.crashRecoveryCycles;
     return os.str();
 }
 
@@ -57,11 +60,13 @@ deserialize(const std::string &line, RunResult &r)
           r.totalTrackedMigrations >> r.pageFootprintFrac >>
           r.lineFootprintFrac))
         return false;
-    // The fault columns are a later addition; entries cached before then
-    // lack them (and were necessarily fault-free runs), so they default
-    // to zero.
+    // The fault and crash columns are later additions; entries cached
+    // before them lack the trailing fields (and were necessarily
+    // fault-free / crash-free runs), so they default to zero.
     is >> r.linkCrcErrors >> r.linkRetrainEvents >> r.poisonEvents >>
         r.degradedAccesses >> r.migrationAborts >> r.migrationsDeferred;
+    is >> r.hostCrashes >> r.hostRejoins >> r.crashLinesReclaimed >>
+        r.crashDirtyLinesLost >> r.crashRecoveryCycles;
     return true;
 }
 
@@ -136,6 +141,15 @@ configKey(const SystemConfig &cfg)
            << cfg.fault.backoffWindow << ',' << cfg.fault.backoffThreshold
            << ',' << cfg.fault.backoffBaseNs << ','
            << cfg.fault.backoffMaxExp;
+        if (cfg.fault.crashMeanIntervalNs > 0.0) {
+            // Appended only when a crash schedule is on, keeping crash-free
+            // fault keys identical to what they were before host crashes
+            // existed.
+            os << ",crash:" << cfg.fault.crashMeanIntervalNs << ','
+               << cfg.fault.crashRejoinNs << ','
+               << cfg.fault.crashMaxEvents << ','
+               << static_cast<unsigned>(cfg.fault.crashRecovery);
+        }
     }
     return os.str();
 }
@@ -146,7 +160,13 @@ applyEnvFaults(SystemConfig &cfg)
     const char *v = std::getenv("PIPM_BENCH_FAULTS");
     if (!v || !*v || std::string(v) == "0")
         return false;
-    cfg.fault = paperFaultConfig(envU64("PIPM_BENCH_SEED", 42));
+    // "crash" (or "2") additionally enables the host fail-stop crash and
+    // rejoin schedule; any other value keeps the original fault-only
+    // schedule bit-identical to what it produced before crashes existed.
+    const std::string mode(v);
+    cfg.fault = (mode == "crash" || mode == "2")
+                    ? paperCrashFaultConfig(envU64("PIPM_BENCH_SEED", 42))
+                    : paperFaultConfig(envU64("PIPM_BENCH_SEED", 42));
     return true;
 }
 

@@ -15,7 +15,9 @@
  *   PIPM_BENCH_SEED    RNG seed (default 42)
  *   PIPM_BENCH_CACHE   cache file path (default ./pipm_bench_cache.tsv)
  *   PIPM_BENCH_FAULTS  any value but empty/"0": enable the paper-default
- *                      fault schedule (harnesses calling applyEnvFaults)
+ *                      fault schedule (harnesses calling applyEnvFaults);
+ *                      "crash" or "2" additionally enables the host
+ *                      fail-stop crash/rejoin schedule (DESIGN.md §8)
  */
 
 #ifndef PIPM_BENCH_COMMON_HH

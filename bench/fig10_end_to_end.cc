@@ -52,6 +52,11 @@ main()
             faultTotals.degradedAccesses += r.degradedAccesses;
             faultTotals.migrationAborts += r.migrationAborts;
             faultTotals.migrationsDeferred += r.migrationsDeferred;
+            faultTotals.hostCrashes += r.hostCrashes;
+            faultTotals.hostRejoins += r.hostRejoins;
+            faultTotals.crashLinesReclaimed += r.crashLinesReclaimed;
+            faultTotals.crashDirtyLinesLost += r.crashDirtyLinesLost;
+            faultTotals.crashRecoveryCycles += r.crashRecoveryCycles;
         }
         table.row(row);
     }
@@ -71,6 +76,17 @@ main()
                   << faultTotals.migrationAborts << " migration aborts, "
                   << faultTotals.migrationsDeferred
                   << " migrations deferred (totals across runs).\n";
+        if (faultTotals.hostCrashes || faultTotals.hostRejoins) {
+            std::cout << "Host crashes (PIPM_BENCH_FAULTS=crash): "
+                      << faultTotals.hostCrashes << " fail-stop crashes, "
+                      << faultTotals.hostRejoins << " cold rejoins, "
+                      << faultTotals.crashLinesReclaimed
+                      << " lines reclaimed, "
+                      << faultTotals.crashDirtyLinesLost
+                      << " dirty lines lost, "
+                      << faultTotals.crashRecoveryCycles
+                      << " recovery cycles (totals across runs).\n";
+        }
     }
 
     std::cout << "Paper: PIPM 1.86x avg (max 2.54x) over native; "

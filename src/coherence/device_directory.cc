@@ -59,4 +59,11 @@ DeviceDirectory::deallocate(LineAddr line)
     return e->meta;
 }
 
+void
+DeviceDirectory::forEach(
+    const std::function<void(LineAddr, const DirEntry &)> &fn) const
+{
+    entries_.forEach([&](const auto &entry) { fn(entry.key, entry.meta); });
+}
+
 } // namespace pipm

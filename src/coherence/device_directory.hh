@@ -18,7 +18,9 @@
 #ifndef PIPM_COHERENCE_DEVICE_DIRECTORY_HH
 #define PIPM_COHERENCE_DEVICE_DIRECTORY_HH
 
+#include <cassert>
 #include <cstdint>
+#include <functional>
 #include <optional>
 
 #include "cache/set_assoc.hh"
@@ -35,18 +37,32 @@ struct DirEntry
 {
     DevState state = DevState::I;
     std::uint32_t sharers = 0;     ///< bitmask of hosts holding the line
+    /**
+     * Epoch of the owning host when this entry went to state M. A host's
+     * epoch advances on every crash and rejoin, so a stale entry naming
+     * a since-crashed owner is rejected instead of forwarded to (see
+     * MultiHostSystem::cxlAccess and DESIGN.md §8). Meaningless in S.
+     */
+    std::uint32_t ownerEpoch = 0;
 
     bool has(HostId h) const { return sharers & (1u << h); }
     void add(HostId h) { sharers |= 1u << h; }
     void remove(HostId h) { sharers &= ~(1u << h); }
 
-    /** The owning host; only meaningful in state M. */
+    /**
+     * The owning host. Only meaningful in state M (debug-asserted): an
+     * S entry has no owner, and consulting the first set bit of its mask
+     * would silently fabricate one.
+     * @param num_hosts bound of the sharer scan (configured host count)
+     */
     HostId
-    owner() const
+    owner(unsigned num_hosts) const
     {
-        for (HostId h = 0; h < 32; ++h) {
+        assert(state == DevState::M &&
+               "DirEntry::owner() consulted in a non-owner state");
+        for (unsigned h = 0; h < num_hosts; ++h) {
             if (sharers & (1u << h))
-                return h;
+                return static_cast<HostId>(h);
         }
         return invalidHost;
     }
@@ -85,6 +101,14 @@ class DeviceDirectory
 
     /** Drop the entry for a line (last sharer gone / migrated to I'). */
     std::optional<DirEntry> deallocate(LineAddr line);
+
+    /**
+     * Visit every tracked line. Used by the crash sweep (collect the
+     * lines referencing a dead host, then mutate via lookup/deallocate)
+     * and by invariant checks; fn must not modify the directory.
+     */
+    void forEach(
+        const std::function<void(LineAddr, const DirEntry &)> &fn) const;
 
     StatGroup &stats() { return stats_; }
 

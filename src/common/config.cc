@@ -44,6 +44,15 @@ FaultConfig::validate() const
              "fault.retrainWindowNs (", retrainWindowNs,
              ") must be shorter than retrainIntervalNs (",
              retrainIntervalNs, ")");
+    fatal_if(crashMeanIntervalNs < 0.0,
+             "fault.crashMeanIntervalNs must be non-negative");
+    fatal_if(crashRejoinNs < 0.0,
+             "fault.crashRejoinNs must be non-negative");
+    fatal_if(crashMeanIntervalNs > 0.0 && crashMaxEvents == 0,
+             "fault.crashMaxEvents must be positive when crashes are on");
+    fatal_if(crashMaxEvents > 4096,
+             "fault.crashMaxEvents above 4096 is not a crash schedule, "
+             "it is a denial of service");
     fatal_if(backoffWindow == 0, "fault.backoffWindow must be positive");
     fatal_if(backoffBaseNs < 0.0,
              "fault.backoffBaseNs must be non-negative");
@@ -189,6 +198,17 @@ paperFaultConfig(std::uint64_t seed)
     f.poisonRate = 1e-4;
     f.persistentPoisonFrac = 0.25;
     f.migrationAbortRate = 0.02;
+    f.validate();
+    return f;
+}
+
+FaultConfig
+paperCrashFaultConfig(std::uint64_t seed, double mean_interval_ns,
+                      double rejoin_ns)
+{
+    FaultConfig f = paperFaultConfig(seed);
+    f.crashMeanIntervalNs = mean_interval_ns;
+    f.crashRejoinNs = rejoin_ns;
     f.validate();
     return f;
 }

@@ -149,11 +149,27 @@ struct TlbModelConfig
 };
 
 /**
- * Fault-injection parameters (see DESIGN.md §7). All faults are drawn
- * from a dedicated deterministic stream seeded by `seed`, so a fault
- * schedule replays bit-for-bit. A config with `enabled` set but every
- * rate at zero behaves identically to a disabled one (no RNG draws are
- * made), which the replay tests rely on.
+ * What the device does about dirty data lost with a crashed host (see
+ * DESIGN.md §8). Device-resident data always survives a fail-stop; the
+ * policy decides how the *stale* device copy of a lost-dirty line is
+ * served afterwards.
+ */
+enum class CrashRecoveryPolicy : std::uint8_t
+{
+    /** Serve the stale device copy silently (count it as a dirty loss). */
+    stale,
+    /** Additionally mark lost-dirty lines persistently poisoned, so every
+     *  later access takes the degraded uncacheable path and software can
+     *  observe the loss. */
+    poison
+};
+
+/**
+ * Fault-injection parameters (see DESIGN.md §7 and §8). All faults are
+ * drawn from a dedicated deterministic stream seeded by `seed`, so a
+ * fault schedule replays bit-for-bit. A config with `enabled` set but
+ * every rate at zero behaves identically to a disabled one (no RNG draws
+ * are made), which the replay tests rely on.
  */
 struct FaultConfig
 {
@@ -180,6 +196,22 @@ struct FaultConfig
     /** Per-migration probability that a fault lands mid-migration and
      *  the partial migration must abort and roll back. */
     double migrationAbortRate = 0.0;
+
+    /**
+     * Mean interval between host fail-stop crashes; 0 disables crashes.
+     * The schedule is pre-generated at construction from a *separate*
+     * stream derived from `seed`, so enabling crashes does not perturb
+     * the ordered link/migration fault draws (and a zero crash rate is
+     * bit-identical to the pre-crash fault model).
+     */
+    double crashMeanIntervalNs = 0.0;
+    /** Downtime before a crashed host rejoins (cold caches/TLB/remap
+     *  tables under a fresh epoch); 0 means crashed hosts never rejoin. */
+    double crashRejoinNs = 0.0;
+    /** Upper bound on scheduled crash events per run. */
+    unsigned crashMaxEvents = 64;
+    /** How stale device copies of lost-dirty lines are served. */
+    CrashRecoveryPolicy crashRecovery = CrashRecoveryPolicy::stale;
 
     /** Link messages per error-rate observation window. */
     std::uint64_t backoffWindow = 512;
@@ -382,6 +414,17 @@ SystemConfig testConfig();
  * lines (a quarter persistent) and occasional mid-migration faults.
  */
 FaultConfig paperFaultConfig(std::uint64_t seed = 1);
+
+/**
+ * The paper-default fault schedule plus host fail-stop crashes: every
+ * `mean_interval_ns` (on average) one host crashes and — after
+ * `rejoin_ns` of downtime — rejoins cold under a fresh epoch. Used by
+ * the crash-schedule verifier and the PIPM_BENCH_FAULTS=crash bench
+ * mode.
+ */
+FaultConfig paperCrashFaultConfig(std::uint64_t seed = 1,
+                                  double mean_interval_ns = 150'000.0,
+                                  double rejoin_ns = 100'000.0);
 
 } // namespace pipm
 

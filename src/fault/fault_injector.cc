@@ -1,5 +1,6 @@
 #include "fault/fault_injector.hh"
 
+#include <algorithm>
 #include <limits>
 
 namespace pipm
@@ -66,6 +67,100 @@ FaultInjector::FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
                       "vote firings suppressed by link-error backoff");
     stats_.addCounter(&backoffEntries, "backoff_entries",
                       "times migration backoff was (re-)armed");
+    stats_.addCounter(&hostCrashes, "host_crashes",
+                      "host fail-stop crash events processed");
+    stats_.addCounter(&hostRejoins, "host_rejoins",
+                      "host rejoin events processed");
+    stats_.addCounter(&crashDirSwept, "crash_dir_swept",
+                      "directory entries reclaimed by crash sweeps");
+    stats_.addCounter(&crashLinesReclaimed, "crash_lines_reclaimed",
+                      "migrated lines reintegrated after a crash");
+    stats_.addCounter(&crashPagesReclaimed, "crash_pages_reclaimed",
+                      "remap/GIM pages reclaimed after a crash");
+    stats_.addCounter(&crashDirtyLinesLost, "crash_dirty_lines_lost",
+                      "lines whose latest value died with a host");
+    stats_.addCounter(&crashRecoveryCycles, "crash_recovery_cycles",
+                      "device cycles spent on crash reclamation");
+    stats_.addCounter(&staleEpochDrops, "stale_epoch_drops",
+                      "stale-epoch references rejected");
+    generateCrashSchedule();
+}
+
+void
+FaultInjector::generateCrashSchedule()
+{
+    if (cfg_.crashMeanIntervalNs <= 0.0)
+        return;
+    // A dedicated stream: the ordered link/migration draws in rng_ must
+    // not move when crashes are enabled (zero-crash bit-identity).
+    Rng crng(seed_ ^ 0x63726173682d6576ull);
+    const Cycles mean = nsToCycles(cfg_.crashMeanIntervalNs);
+    const Cycles down =
+        cfg_.crashRejoinNs > 0.0 ? nsToCycles(cfg_.crashRejoinNs) : 0;
+
+    std::vector<Cycles> downUntil(numHosts_, 0);   ///< 0: host is up
+    Cycles t = 0;
+    for (unsigned k = 0; k < cfg_.crashMaxEvents; ++k) {
+        // Uniform spacing in [0.5, 1.5] x mean.
+        t += mean / 2 + crng.range(0, mean > 0 ? mean : 1);
+        unsigned alive = 0;
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (downUntil[h] != 0 && downUntil[h] <= t)
+                downUntil[h] = 0;   // rejoined by now
+            if (downUntil[h] == 0)
+                ++alive;
+        }
+        // Never crash the last alive host: the machine must make
+        // progress so the schedule stays reachable.
+        if (alive <= 1)
+            continue;
+        std::uint64_t pick = crng.range(0, alive - 1);
+        HostId victim = invalidHost;
+        for (unsigned h = 0; h < numHosts_; ++h) {
+            if (downUntil[h] != 0)
+                continue;
+            if (pick-- == 0) {
+                victim = static_cast<HostId>(h);
+                break;
+            }
+        }
+        CrashEvent ev;
+        ev.at = t;
+        ev.host = victim;
+        ev.rejoin = false;
+        ev.downUntil = down ? t + down : maxCycles;
+        crashSchedule_.push_back(ev);
+        downUntil[victim] = down ? t + down : maxCycles;
+        if (down) {
+            CrashEvent re;
+            re.at = t + down;
+            re.host = victim;
+            re.rejoin = true;
+            re.downUntil = 0;
+            crashSchedule_.push_back(re);
+        }
+    }
+    std::sort(crashSchedule_.begin(), crashSchedule_.end(),
+              [](const CrashEvent &a, const CrashEvent &b) {
+                  if (a.at != b.at)
+                      return a.at < b.at;
+                  // A rejoin scheduled at the same instant as another
+                  // host's crash processes first, keeping alive counts
+                  // conservative.
+                  return a.rejoin && !b.rejoin;
+              });
+}
+
+const CrashEvent *
+FaultInjector::nextCrashEvent(Cycles now)
+{
+    if (crashCursor_ >= crashSchedule_.size())
+        return nullptr;
+    const CrashEvent &ev = crashSchedule_[crashCursor_];
+    if (ev.at > now)
+        return nullptr;
+    ++crashCursor_;
+    return &ev;
 }
 
 bool
@@ -121,11 +216,13 @@ FaultInjector::retrainDelay(HostId h, Cycles now)
 PoisonState
 FaultInjector::poisonCheck(LineAddr line)
 {
-    if (cfg_.poisonRate <= 0.0)
-        return PoisonState::clean;
+    // The memo comes first: crash recovery (policy `poison`) can force a
+    // line persistently poisoned even when the random poison rate is 0.
     auto it = poison_.find(line);
     if (it != poison_.end())
         return it->second;
+    if (cfg_.poisonRate <= 0.0)
+        return PoisonState::clean;
     // Stateless per-line draw: independent of access order, so the same
     // lines are poisoned regardless of which host finds them first.
     PoisonState state = PoisonState::clean;
@@ -152,6 +249,16 @@ FaultInjector::linePersistentlyPoisoned(LineAddr line) const
     auto it = poison_.find(line);
     return it != poison_.end() &&
            it->second == PoisonState::persistentPoison;
+}
+
+void
+FaultInjector::poisonLineForever(LineAddr line)
+{
+    auto it = poison_.find(line);
+    if (it != poison_.end() && it->second == PoisonState::persistentPoison)
+        return;
+    poison_[line] = PoisonState::persistentPoison;
+    poisonPersistent.inc();
 }
 
 bool

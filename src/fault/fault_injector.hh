@@ -18,11 +18,18 @@
  *  - mid-migration faults: a promotion or an incremental line migration
  *    aborts; the system rolls back (promotion) or idempotently completes
  *    (line writeback falls through to CXL memory) so that no line is
- *    ever doubly mapped or unreachable.
+ *    ever doubly mapped or unreachable;
+ *  - host fail-stop crashes (DESIGN.md §8): a pre-generated schedule of
+ *    per-host crash (and optional rejoin) events. The injector only owns
+ *    the *schedule* and the crash counters; the reclamation itself
+ *    (directory sweep, remap reintegration, epoch bump) is done by
+ *    MultiHostSystem::crashHost()/rejoinHost() when an event falls due.
  *
  * All link-message draws come from one xoshiro stream seeded from the
  * fault seed; per-line poison and retraining phases are stateless hash
- * draws, so they are independent of access order. A config with every
+ * draws, so they are independent of access order. The crash schedule is
+ * generated at construction from its own derived stream, so turning
+ * crashes on does not shift any other fault draw. A config with every
  * rate at zero makes no draws at all, which keeps a zero-fault run
  * bit-identical to a fault-disabled one.
  *
@@ -54,6 +61,16 @@ enum class PoisonState : std::uint8_t
     clean,
     transientPoison,   ///< one ECC retry scrubs it
     persistentPoison   ///< uncacheable; degraded path forever
+};
+
+/** One scheduled host fail-stop or rejoin event. */
+struct CrashEvent
+{
+    Cycles at = 0;              ///< when the event fires
+    HostId host = invalidHost;  ///< which host
+    bool rejoin = false;        ///< false: crash, true: rejoin
+    /** For crash events: when the host comes back (maxCycles: never). */
+    Cycles downUntil = maxCycles;
 };
 
 /** Deterministic fault source shared by links, device and migration. */
@@ -95,6 +112,29 @@ class FaultInjector
     /** Whether a line has been discovered persistently poisoned. */
     bool linePersistentlyPoisoned(LineAddr line) const;
 
+    /**
+     * Force a line into the persistent-poison state. Used by the crash
+     * recovery policy `poison`: the device marks lines whose only
+     * up-to-date copy died with a host, so later accesses observably
+     * take the degraded path instead of silently reading stale data.
+     */
+    void poisonLineForever(LineAddr line);
+
+    // ---- Host fail-stop crashes -----------------------------------------
+
+    /**
+     * The next scheduled crash/rejoin event due at or before `now`, or
+     * nullptr. Each event is returned exactly once, in time order; the
+     * caller (MultiHostSystem::tick) performs the reclamation.
+     */
+    const CrashEvent *nextCrashEvent(Cycles now);
+
+    /** The full pre-generated schedule (tests and tools). */
+    const std::vector<CrashEvent> &crashSchedule() const
+    {
+        return crashSchedule_;
+    }
+
     // ---- Migration faults ----------------------------------------------
 
     /** Draw whether a fault lands mid-promotion (roll back if so). */
@@ -125,6 +165,16 @@ class FaultInjector
     Counter migrationsDeferred;  ///< vote firings suppressed by backoff
     Counter backoffEntries;      ///< times the backoff window re-armed
 
+    // Host fail-stop crash accounting (filled in by the system layer).
+    Counter hostCrashes;         ///< fail-stop crash events processed
+    Counter hostRejoins;         ///< rejoin events processed
+    Counter crashDirSwept;       ///< directory entries reclaimed on crash
+    Counter crashLinesReclaimed; ///< migrated lines reintegrated on crash
+    Counter crashPagesReclaimed; ///< remap/GIM pages reclaimed on crash
+    Counter crashDirtyLinesLost; ///< lines whose latest value died
+    Counter crashRecoveryCycles; ///< device cycles spent on reclamation
+    Counter staleEpochDrops;     ///< stale-epoch references rejected
+
   private:
     FaultConfig cfg_;
     unsigned numHosts_;
@@ -142,6 +192,13 @@ class FaultInjector
     unsigned backoffExp_ = 0;
 
     std::unordered_map<LineAddr, PoisonState> poison_;
+
+    /** Generate the crash schedule (constructor helper). */
+    void generateCrashSchedule();
+
+    std::vector<CrashEvent> crashSchedule_;   ///< sorted by time
+    std::size_t crashCursor_ = 0;
+
     StatGroup stats_;
 };
 

@@ -80,6 +80,9 @@ class Tlb
             shootdowns.inc();
     }
 
+    /** Drop every translation (host crash/rejoin: cold TLB). */
+    void flushAll() { tags_.clear(); }
+
     StatGroup &stats() { return stats_; }
 
     Counter hits;

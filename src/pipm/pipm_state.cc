@@ -266,6 +266,50 @@ PipmState::abortPromotion(HostId h, PageFrame cxl_page)
     git->second.counter = 0;
 }
 
+std::uint64_t
+PipmState::crashReclaimPage(HostId h, PageFrame cxl_page)
+{
+    auto it = local_[h].find(cxl_page);
+    panic_if(it == local_[h].end(), "crash-reclaiming page ", cxl_page,
+             " without local entry on host ", int(h));
+    const std::uint64_t bitmap = it->second.lineBitmap;
+    linesOn_[h] -= static_cast<std::uint64_t>(std::popcount(bitmap));
+    space_.freePipmFrame(h, it->second.localPfn);
+    local_[h].erase(it);
+
+    auto git = global_.find(cxl_page);
+    panic_if(git == global_.end(),
+             "crash-reclaimed page has no global entry");
+    git->second.curHost = invalidHost;
+    git->second.candHost = invalidHost;
+    git->second.counter = 0;
+    return bitmap;
+}
+
+void
+PipmState::clearVotesFor(HostId h)
+{
+    for (auto &[page, g] : global_) {
+        if (g.candHost == h && g.curHost != h) {
+            g.candHost = invalidHost;
+            g.counter = 0;
+        }
+    }
+}
+
+void
+PipmState::checkNoHostReferences(HostId h) const
+{
+    panic_if(!local_[h].empty(), "dead host ", int(h), " still has ",
+             local_[h].size(), " local remap entries");
+    for (const auto &[page, g] : global_) {
+        panic_if(g.curHost == h, "global entry for page ", page,
+                 " still names dead host ", int(h), " as curHost");
+        panic_if(g.candHost == h, "global entry for page ", page,
+                 " still names dead host ", int(h), " as candHost");
+    }
+}
+
 void
 PipmState::checkRemapInvariants() const
 {

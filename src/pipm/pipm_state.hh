@@ -111,6 +111,13 @@ class PipmState
     /** Count of pages with a local entry on host h. */
     std::uint64_t migratedPagesOn(HostId h) const;
 
+    /** All local remap entries of host h (crash sweep, tests). */
+    const std::unordered_map<PageFrame, LocalRemapEntry> &
+    localEntries(HostId h) const
+    {
+        return local_[h];
+    }
+
     // ---- Software interface (§6) ---------------------------------------
 
     /**
@@ -173,6 +180,29 @@ class PipmState
      * as if the vote had never fired.
      */
     void abortPromotion(HostId h, PageFrame cxl_page);
+
+    /**
+     * Reclaim one page of a crashed host (DESIGN.md §8): drop the local
+     * entry, release its frame and reset the global entry. Unlike
+     * revoke(), no data migrates back — the host's local DRAM contents
+     * are gone, so the caller accounts the loss separately and neither
+     * `revocations` nor `linesBack` is counted.
+     * @return the line bitmap that was set (lines reverting to their
+     *         stale CXL home copies)
+     */
+    std::uint64_t crashReclaimPage(HostId h, PageFrame cxl_page);
+
+    /**
+     * Drop every pending vote naming host h as the candidate (crash):
+     * a dead host must not win a majority it can no longer use.
+     */
+    void clearVotesFor(HostId h);
+
+    /**
+     * Panic if any remap state still references host h (post-crash
+     * invariant: no local entry on h, no global curHost/candHost == h).
+     */
+    void checkNoHostReferences(HostId h) const;
 
     /**
      * Check the remap-table invariants: every local entry matches a

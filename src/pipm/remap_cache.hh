@@ -58,6 +58,10 @@ class RemapCache
     /** Drop a page's entry (table update must invalidate stale copies). */
     void invalidate(PageFrame page);
 
+    /** Drop every entry (host crash: the on-die cache loses power; on
+     *  rejoin the host starts cold). */
+    void clear() { tags_.clear(); }
+
     Cycles roundTrip() const { return roundTrip_; }
 
     StatGroup &stats() { return stats_; }

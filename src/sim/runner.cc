@@ -1,5 +1,6 @@
 #include "sim/runner.hh"
 
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -62,6 +63,13 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     bool measuring = false;
     std::uint64_t done_count = 0;
 
+    std::uint64_t check_every = run.checkInvariantsEvery;
+    if (const char *env = std::getenv("PIPM_CHECK_INVARIANTS")) {
+        if (*env != '\0')
+            check_every = std::strtoull(env, nullptr, 10);
+    }
+    std::uint64_t accesses_since_check = 0;
+
     auto sample_footprint = [&]() {
         double page_sum = 0.0;
         double line_sum = 0.0;
@@ -92,10 +100,32 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         }
         panic_if(!next, "no runnable core");
 
+        if (!system.hostAlive(next->host)) {
+            // The issuing host is down. A host that never rejoins retires
+            // this core; otherwise park its clock at the rejoin time so
+            // the min-clock scheduler resumes it right after the rejoin
+            // event is processed. (With no crash schedule every host is
+            // always alive and this branch never runs.)
+            const Cycles up = system.hostDownUntil(next->host);
+            if (up == maxCycles) {
+                next->model.drainAll();
+                next->done = true;
+                ++done_count;
+                continue;
+            }
+            if (next->model.now() < up)
+                next->model.stall(up - next->model.now());
+            system.tick(next->model.now());
+            continue;
+        }
+
         if (!measuring) {
             // Warmup ends when every core has issued its warmup refs.
+            // Cores retired by a never-rejoining host crash are exempt.
             bool all_warm = true;
             for (const auto &slot : cores) {
+                if (slot.done)
+                    continue;
                 if (slot.refs < run.warmupRefsPerCore) {
                     all_warm = false;
                     break;
@@ -114,6 +144,10 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         const MemRef ref = next->trace->next();
         next->model.advanceGap(ref.gap);
         system.tick(next->model.now());
+        // The tick may have processed a crash event that just killed this
+        // very host; the in-flight access dies with it.
+        if (!system.hostAlive(next->host))
+            continue;
         const AccessResult res =
             system.access(next->host, next->core, ref, next->model.now());
         if (res.stall)
@@ -134,6 +168,10 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
                              run.footprintSampleEvery) {
             accesses_since_sample = 0;
             sample_footprint();
+        }
+        if (check_every && ++accesses_since_check >= check_every) {
+            accesses_since_check = 0;
+            system.checkInvariants();
         }
     }
     if (samples == 0)
@@ -189,6 +227,12 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         out.migrationAborts =
             f->promotionAborts.value() + f->lineAborts.value();
         out.migrationsDeferred = f->migrationsDeferred.value();
+        out.hostCrashes = f->hostCrashes.value();
+        out.hostRejoins = f->hostRejoins.value();
+        out.crashLinesReclaimed =
+            f->crashDirSwept.value() + f->crashLinesReclaimed.value();
+        out.crashDirtyLinesLost = f->crashDirtyLinesLost.value();
+        out.crashRecoveryCycles = f->crashRecoveryCycles.value();
     }
     out.pageFootprintFrac = samples ? page_frac_sum / samples : 0.0;
     out.lineFootprintFrac = samples ? line_frac_sum / samples : 0.0;

@@ -31,6 +31,13 @@ struct RunConfig
     std::uint64_t seed = 42;
     /** Sample footprint ratios every this many measured accesses. */
     std::uint64_t footprintSampleEvery = 50'000;
+    /**
+     * Run MultiHostSystem::checkInvariants() every this many accesses
+     * (0: disabled). The PIPM_CHECK_INVARIANTS environment variable, when
+     * set and non-empty, overrides this value. Crash/rejoin events always
+     * check regardless of this knob.
+     */
+    std::uint64_t checkInvariantsEvery = 0;
 };
 
 /** Everything a figure harness needs from one run. */
@@ -69,6 +76,14 @@ struct RunResult
     std::uint64_t degradedAccesses = 0;  ///< uncacheable poisoned-line trips
     std::uint64_t migrationAborts = 0;   ///< promotions + line moves aborted
     std::uint64_t migrationsDeferred = 0;///< vote firings backed off
+
+    // Host fail-stop crashes (DESIGN.md §8; all zero without a crash
+    // schedule).
+    std::uint64_t hostCrashes = 0;       ///< fail-stop events processed
+    std::uint64_t hostRejoins = 0;       ///< cold rejoins processed
+    std::uint64_t crashLinesReclaimed = 0; ///< dir sweeps + remap/GIM lines
+    std::uint64_t crashDirtyLinesLost = 0; ///< latest value died with a host
+    std::uint64_t crashRecoveryCycles = 0; ///< device-side reclamation work
 
     /** Fig. 13: mean per-host local footprint / total footprint. */
     double pageFootprintFrac = 0.0;

@@ -1,6 +1,9 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
 
 #include "common/logging.hh"
 #include "migration/hemem.hh"
@@ -67,6 +70,10 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
       stats_("system")
 {
     cfg_.validate();
+
+    hostAlive_.assign(cfg.numHosts, 1);
+    hostEpoch_.assign(cfg.numHosts, 0);
+    hostDownUntil_.assign(cfg.numHosts, 0);
 
     if (cfg.fault.enabled) {
         faults_ = std::make_unique<FaultInjector>(
@@ -218,6 +225,7 @@ MultiHostSystem::access(HostId h, CoreId c, const MemRef &ref,
 {
     Cycles now = now_in;
     panic_if(h >= cfg_.numHosts, "host id out of range");
+    panic_if(!hostAlive_[h], "access issued by crashed host ", int(h));
     demandAccesses.inc();
     const Cycles stall = takePendingStall(h, c);
     now += stall;
@@ -494,6 +502,7 @@ MultiHostSystem::upgrade(HostId h, LineAddr line, Cycles now)
     lat += inv_max;
     entry->state = DevState::M;
     entry->sharers = 1u << h;
+    entry->ownerEpoch = epochOf(h);
     lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::header,
                                     now);
     return lat;
@@ -642,8 +651,24 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     DirEntry *entry = deviceDir_.lookup(line);
 
     if (entry && entry->state == DevState::M) {
+        // Epoch check (DESIGN.md §8): an entry stamped under an epoch its
+        // owner no longer runs in is a stale in-flight reference — the
+        // owner crashed (and possibly rejoined cold) since the entry went
+        // M. The crash sweep removes such entries eagerly, so this is a
+        // backstop for references raced in between; the device drops the
+        // entry and serves its own copy below.
+        const HostId mo = entry->owner(cfg_.numHosts);
+        if (mo == invalidHost || entry->ownerEpoch != hostEpoch_[mo]) {
+            deviceDir_.deallocate(line);
+            entry = nullptr;
+            if (faults_)
+                faults_->staleEpochDrops.inc();
+        }
+    }
+
+    if (entry && entry->state == DevState::M) {
         // Another host owns the latest copy: forward (Fig. 2 steps 3-5).
-        const HostId owner = entry->owner();
+        const HostId owner = entry->owner(cfg_.numHosts);
         panic_if(owner == h, "directory owner is the requester itself");
         CacheHierarchy &ohier = *hosts_[owner].caches;
         panic_if(ohier.stateOf(line) != HostState::M,
@@ -657,6 +682,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
             ohier.invalidateLine(line);
             entry->state = DevState::M;
             entry->sharers = 1u << h;
+            entry->ownerEpoch = epochOf(h);
         } else {
             ohier.setState(line, HostState::S);
             ohier.markClean(line);
@@ -772,6 +798,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         }
         entry->state = DevState::M;
         entry->sharers = 1u << h;
+        entry->ownerEpoch = epochOf(h);
         lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
                                         now);
         auto evs = hier.fill(c, line, HostState::M, true, data);
@@ -826,6 +853,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         DirEntry ne;
         ne.state = DevState::M;
         ne.sharers = 1u << h;
+        ne.ownerEpoch = epochOf(h);
         dirAllocate(line, ne, now);
         auto evs = hier.fill(c, line, HostState::M, is_write, data);
         handleEvictions(h, evs, now);
@@ -898,6 +926,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
             if (owner_keeps_s)
                 ne.sharers |= 1u << mh;
         }
+        ne.ownerEpoch = epochOf(h);
         dirAllocate(line, ne, now);
 
         lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
@@ -955,6 +984,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     DirEntry ne;
     ne.state = DevState::M;
     ne.sharers = 1u << h;
+    ne.ownerEpoch = epochOf(h);
     dirAllocate(line, ne, now);
     auto evs = hier.fill(c, line, HostState::M, is_write, data);
     handleEvictions(h, evs, now);
@@ -1171,12 +1201,258 @@ MultiHostSystem::handleEviction(HostId h,
 void
 MultiHostSystem::tick(Cycles now)
 {
+    if (faults_)
+        processCrashEvents(now);
     if (osPolicy_ && now >= nextEpoch_) {
         runEpoch(now);
         nextEpoch_ += cfg_.osEpochCycles();
         if (nextEpoch_ <= now)
             nextEpoch_ = now + cfg_.osEpochCycles();
     }
+}
+
+void
+MultiHostSystem::processCrashEvents(Cycles now)
+{
+    while (const CrashEvent *ev = faults_->nextCrashEvent(now)) {
+        if (ev->rejoin)
+            rejoinHost(ev->host, now);
+        else
+            crashHost(ev->host, now, ev->downUntil);
+    }
+}
+
+void
+MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
+{
+    panic_if(!faults_, "host crashes require fault injection enabled");
+    panic_if(h >= cfg_.numHosts, "crashHost: host id out of range");
+    panic_if(!hostAlive_[h], "crashHost: host ", int(h), " already dead");
+
+    faults_->hostCrashes.inc();
+    hostAlive_[h] = 0;
+    ++hostEpoch_[h];
+    hostDownUntil_[h] = down_until;
+
+    Cycles recovery = 0;
+
+    // Loss accounting is against the last device-visible value: a line is
+    // *lost* when the most recent value (dead cache dirty copy or dead
+    // local-DRAM frame copy) differs from what the device can still serve.
+    // Each line is recorded at most once per crash; under the poison
+    // recovery policy lost lines additionally become persistently poisoned
+    // (uncacheable degraded path) instead of silently serving stale data.
+    std::unordered_set<LineAddr> lost_this_crash;
+    auto record_lost = [&](LineAddr line) {
+        if (!lost_this_crash.insert(line).second)
+            return;
+        faults_->crashDirtyLinesLost.inc();
+        lostLines_.push_back(line);
+        if (cfg_.fault.crashRecovery == CrashRecoveryPolicy::poison)
+            faults_->poisonLineForever(line);
+    };
+
+    // ---- 1. The dead host's volatile state vanishes --------------------
+    // Dirty cached lines are remembered (keyed by home line address) only
+    // to decide lost-ness below; the data itself is gone.
+    std::unordered_map<LineAddr, std::uint64_t> latest;
+    for (const auto &ev : hosts_[h].caches->flushAll()) {
+        if (ev.dirty)
+            latest.emplace(ev.line, ev.data);
+    }
+    for (Tlb &t : hosts_[h].tlbs)
+        t.flushAll();
+    if (hosts_[h].localRemap)
+        hosts_[h].localRemap->clear();
+    std::fill(hosts_[h].pendingStall.begin(), hosts_[h].pendingStall.end(),
+              static_cast<Cycles>(0));
+
+    // ---- 2. Directory sweep --------------------------------------------
+    // Reclaim every entry whose sharer mask includes the dead host: S
+    // sharers are downgraded (clean, nothing lost); dead-owned M entries
+    // are dropped — the device copy becomes authoritative, and a dirty
+    // cached value that never made it back is counted lost.
+    std::vector<std::pair<LineAddr, DirEntry>> touched;
+    deviceDir_.forEach([&](LineAddr line, const DirEntry &e) {
+        if (e.has(h))
+            touched.emplace_back(line, e);
+    });
+    for (const auto &[line, snap] : touched) {
+        recovery += deviceDir_.accessLatency(line, now);
+        faults_->crashDirSwept.inc();
+        if (snap.state == DevState::M) {
+            assert(snap.owner(cfg_.numHosts) == h);
+            deviceDir_.deallocate(line);
+            const auto lit = latest.find(line);
+            if (lit != latest.end() && lit->second != mem_.read(line))
+                record_lost(line);
+        } else {
+            DirEntry *e = deviceDir_.lookup(line);
+            e->remove(h);
+            if (e->sharers == 0)
+                deviceDir_.deallocate(line);
+        }
+    }
+
+    // ---- 3. Remap-state recovery (partially migrated pages) ------------
+    if (pipm_) {
+        std::vector<PageFrame> pages;
+        pages.reserve(pipm_->localEntries(h).size());
+        for (const auto &[page, entry] : pipm_->localEntries(h))
+            pages.push_back(page);
+        std::sort(pages.begin(), pages.end());   // deterministic order
+        for (const PageFrame page : pages) {
+            const LocalRemapEntry entry = pipm_->localEntries(h).at(page);
+            if (entry.lineBitmap == 0) {
+                // In-flight promotion with no line migrated yet: the
+                // existing abort/rollback path restores the exact
+                // pre-vote state.
+                pipm_->abortPromotion(h, page);
+            } else {
+                const PhysAddr base = pageBase(page);
+                for (unsigned li = 0; li < linesPerPage; ++li) {
+                    if (!((entry.lineBitmap >> li) & 1))
+                        continue;
+                    const LineAddr home = lineOf(base + li * lineBytes);
+                    faults_->crashLinesReclaimed.inc();
+                    // Clearing the in-memory bit is a device-side
+                    // metadata write at the line's home.
+                    recovery += cxlDram_.access(
+                        lineBase(home) - cfg_.cxlBase(), now, true);
+                    const PhysAddr lpa =
+                        pipm_->localLineAddr(h, page, li);
+                    const DirEntry *de = deviceDir_.probe(home);
+                    if (de && de->state == DevState::S) {
+                        // Naive coherence: live hosts still hold clean S
+                        // copies carrying the last device-visible value
+                        // (the home is stale while the bit is set). Pull
+                        // the value from one of them into the home so
+                        // nothing is lost when those copies age out.
+                        HostId src = invalidHost;
+                        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+                            const auto sh = static_cast<HostId>(s);
+                            if (de->has(sh) && hostAlive_[sh] &&
+                                hosts_[sh].caches->stateOf(home) !=
+                                    HostState::I) {
+                                src = sh;
+                                break;
+                            }
+                        }
+                        if (src != invalidHost) {
+                            const std::uint64_t v =
+                                hosts_[src].caches->dataOf(home);
+                            if (v != mem_.read(home)) {
+                                mem_.write(home, v);
+                                recovery += hosts_[src].link->transfer(
+                                    LinkDir::toDevice, CxlFlits::data,
+                                    now);
+                                recovery += cxlDram_.access(
+                                    lineBase(home) - cfg_.cxlBase(), now,
+                                    true);
+                            }
+                            continue;
+                        }
+                    } else if (de && de->state == DevState::M) {
+                        // Naive coherence: a live owner caches the latest
+                        // value in M. Sync it to the home now — a *clean*
+                        // eviction later would otherwise drop it silently
+                        // (dirty writebacks land at the home anyway once
+                        // the bit is cleared).
+                        const HostId lo = de->owner(cfg_.numHosts);
+                        const std::uint64_t v =
+                            hosts_[lo].caches->dataOf(home);
+                        if (v != mem_.read(home)) {
+                            mem_.write(home, v);
+                            recovery += cxlDram_.access(
+                                lineBase(home) - cfg_.cxlBase(), now,
+                                true);
+                        }
+                        continue;
+                    }
+                    // The latest value lived only with the dead host: its
+                    // dirty cached copy if there was one, else its local
+                    // DRAM frame copy. The home keeps serving its stale
+                    // copy; count the loss if the values differ.
+                    const auto cit = latest.find(home);
+                    const std::uint64_t v = cit != latest.end()
+                                                ? cit->second
+                                                : mem_.read(lineOf(lpa));
+                    if (v != mem_.read(home))
+                        record_lost(home);
+                }
+                pipm_->crashReclaimPage(h, page);
+            }
+            faults_->crashPagesReclaimed.inc();
+            // Stale remap-cache entries anywhere must go: the page is no
+            // longer remapped.
+            for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+                if (hosts_[s].localRemap)
+                    hosts_[s].localRemap->invalidate(page);
+            }
+            if (globalRemap_)
+                globalRemap_->invalidate(page);
+            recovery += cfg_.pipm.globalCacheRoundTrip;
+        }
+        // A dead host must not win a pending majority vote.
+        pipm_->clearVotesFor(h);
+    }
+
+    // ---- 4. OS-migrated (GIM) pages homed at the dead host -------------
+    // Demote without a data copy: the local frame is gone, so the page
+    // reverts to its (possibly stale) CXL home copy; per-line differences
+    // count as losses.
+    for (std::uint64_t idx = 0; idx < migratedTo_.size(); ++idx) {
+        if (migratedTo_[idx] != h)
+            continue;
+        const SharedMapping &m = space_->sharedMapping(idx);
+        const PageFrame cur = m.frame;
+        const PageFrame home_f = m.cxlFrame;
+        for (unsigned li = 0; li < linesPerPage; ++li) {
+            const LineAddr cline = lineOf(pageBase(cur) + li * lineBytes);
+            const LineAddr home =
+                lineOf(pageBase(home_f) + li * lineBytes);
+            faults_->crashLinesReclaimed.inc();
+            const auto cit = latest.find(cline);
+            const std::uint64_t v =
+                cit != latest.end() ? cit->second : mem_.read(cline);
+            if (v != mem_.read(home))
+                record_lost(home);
+        }
+        space_->demoteSharedToCxl(idx);
+        migratedTo_[idx] = invalidHost;
+        faults_->crashPagesReclaimed.inc();
+        recovery += cxlDram_.access(pageBase(home_f) - cfg_.cxlBase(), now,
+                                    true);
+        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+            if (s == h)
+                continue;
+            for (Tlb &t : hosts_[s].tlbs)
+                t.shootdown(idx);
+        }
+        if (harmful_)
+            harmful_->onDemotion(idx);
+    }
+
+    faults_->crashRecoveryCycles.inc(recovery);
+    checkInvariants();
+}
+
+void
+MultiHostSystem::rejoinHost(HostId h, Cycles now)
+{
+    panic_if(!faults_, "host rejoin requires fault injection enabled");
+    panic_if(h >= cfg_.numHosts, "rejoinHost: host id out of range");
+    panic_if(hostAlive_[h], "rejoinHost: host ", int(h), " is alive");
+    (void)now;
+
+    faults_->hostRejoins.inc();
+    hostAlive_[h] = 1;
+    ++hostEpoch_[h];
+    hostDownUntil_[h] = 0;
+    // Caches, TLBs and the local remap cache were already emptied at crash
+    // time; the host comes back cold under its fresh (even) epoch, so any
+    // stale in-flight reference stamped under the old epoch is rejected.
+    checkInvariants();
 }
 
 void
@@ -1202,6 +1478,8 @@ MultiHostSystem::executePromotion(std::uint64_t idx, HostId target,
 {
     if (migratedTo_[idx] != invalidHost)
         return false;
+    if (!hostAlive_[target])
+        return false;   // policies may still nominate a crashed host
     const PageFrame old_frame = space_->sharedMapping(idx).frame;
     flushSharedPage(idx, now);
     if (!space_->migrateSharedToHost(idx, target))
@@ -1349,13 +1627,31 @@ MultiHostSystem::checkInvariants() const
     // owner; PIPM bitmap lines have no directory entry.
     if (pipm_)
         pipm_->checkRemapInvariants();
+    for (unsigned h = 0; h < cfg_.numHosts; ++h) {
+        panic_if(hostAlive_[h] != (hostEpoch_[h] % 2 == 0 ? 1 : 0),
+                 "host ", h, " epoch parity (", hostEpoch_[h],
+                 ") disagrees with liveness");
+        if (hostAlive_[h])
+            continue;
+        // A crashed host must leave no trace until it rejoins.
+        if (pipm_)
+            pipm_->checkNoHostReferences(static_cast<HostId>(h));
+        for (std::uint64_t idx = 0; idx < migratedTo_.size(); ++idx) {
+            panic_if(migratedTo_[idx] == static_cast<HostId>(h),
+                     "shared page ", idx, " still OS-migrated to dead host ",
+                     h);
+        }
+    }
     const PhysAddr cxl_base = cfg_.cxlBase();
     const PhysAddr cxl_end = cfg_.addressSpaceEnd();
     for (LineAddr line = lineOf(cxl_base); line < lineOf(cxl_end); ++line) {
         unsigned m_holders = 0;
         unsigned s_holders = 0;
         for (unsigned h = 0; h < cfg_.numHosts; ++h) {
-            switch (hosts_[h].caches->stateOf(line)) {
+            const HostState st = hosts_[h].caches->stateOf(line);
+            panic_if(!hostAlive_[h] && st != HostState::I,
+                     "dead host ", h, " still caches line ", line);
+            switch (st) {
               case HostState::M:
               case HostState::ME:
                 ++m_holders;
@@ -1398,10 +1694,21 @@ MultiHostSystem::checkInvariants() const
                     continue;
             }
         }
+        if (entry) {
+            for (unsigned h = 0; h < cfg_.numHosts; ++h) {
+                panic_if(!hostAlive_[h] &&
+                             entry->has(static_cast<HostId>(h)),
+                         "directory entry for line ", line,
+                         " still lists dead host ", h);
+            }
+        }
         if (entry && entry->state == DevState::M) {
-            const HostId owner = entry->owner();
+            const HostId owner = entry->owner(cfg_.numHosts);
             panic_if(hosts_[owner].caches->stateOf(line) != HostState::M,
                      "device-M line ", line, " not cached M at owner");
+            panic_if(entry->ownerEpoch != hostEpoch_[owner],
+                     "device-M line ", line, " stamped with stale epoch ",
+                     entry->ownerEpoch, " for host ", int(owner));
         }
     }
 }

@@ -95,8 +95,47 @@ class MultiHostSystem
     AccessResult access(HostId h, CoreId c, const MemRef &ref, Cycles now,
                         std::uint64_t write_data = 0);
 
-    /** Advance epoch machinery (OS migration schemes). */
+    /** Advance epoch machinery (OS migration schemes) and process any
+     *  host crash/rejoin events that have fallen due. */
     void tick(Cycles now);
+
+    // ---- Host fail-stop crashes (DESIGN.md §8) -------------------------
+
+    /**
+     * Fail-stop host h at `now`: every cached line and local-DRAM-resident
+     * migrated line of the host is gone. The device reclaims all state
+     * referencing the host — directory entries are swept (S sharers
+     * downgraded, dead-owned M entries dropped), partially migrated pages
+     * are reintegrated to their CXL homes from the stale device copies
+     * (per-line data loss counted and, under CrashRecoveryPolicy::poison,
+     * poisoned), in-flight promotions roll back via the existing abort
+     * path, and OS-migrated (GIM) pages are demoted without a data copy.
+     * Normally driven by the injector's crash schedule via tick(); public
+     * so tests can crash hosts at exact protocol states.
+     * @param down_until when the host rejoins (maxCycles: never)
+     */
+    void crashHost(HostId h, Cycles now, Cycles down_until = maxCycles);
+
+    /** Rejoin host h cold (empty caches/TLB/remap) under a new epoch. */
+    void rejoinHost(HostId h, Cycles now);
+
+    /** Whether host h is currently alive. */
+    bool hostAlive(HostId h) const { return hostAlive_[h]; }
+
+    /** Host h's epoch: even while alive, odd while crashed; bumped at
+     *  every crash and rejoin (monotone). */
+    std::uint32_t hostEpoch(HostId h) const { return hostEpoch_[h]; }
+
+    /** When a crashed host h rejoins (maxCycles: never; 0: alive). */
+    Cycles hostDownUntil(HostId h) const { return hostDownUntil_[h]; }
+
+    /**
+     * Every line whose latest value died with a host, in the order the
+     * losses were discovered (append-only; lines can repeat across
+     * crashes). The fault-schedule checker syncs its last-writer oracle
+     * against this explicit lost-line set.
+     */
+    const std::vector<LineAddr> &lostLines() const { return lostLines_; }
 
     /** Reset all measurement stats (end of warmup). */
     void resetStats();
@@ -246,6 +285,14 @@ class MultiHostSystem
     /** Take and clear the pending kernel stall of a core. */
     Cycles takePendingStall(HostId h, CoreId c);
 
+    // ---- Crash recovery --------------------------------------------------
+
+    /** Drain crash/rejoin events from the injector's schedule. */
+    void processCrashEvents(Cycles now);
+
+    /** Epoch to stamp into a directory entry that becomes M-owned by h. */
+    std::uint32_t epochOf(HostId h) const { return hostEpoch_[h]; }
+
     // ---- OS migration ----------------------------------------------------
 
     void runEpoch(Cycles now);
@@ -272,6 +319,12 @@ class MultiHostSystem
     std::unique_ptr<HarmfulTracker> harmful_;
     std::vector<HostId> migratedTo_;   ///< OS placement per shared page
     Cycles nextEpoch_ = 0;
+
+    // ---- Host liveness (DESIGN.md §8) -----------------------------------
+    std::vector<std::uint8_t> hostAlive_;     ///< per host: currently up?
+    std::vector<std::uint32_t> hostEpoch_;    ///< even alive / odd crashed
+    std::vector<Cycles> hostDownUntil_;       ///< rejoin time (0: alive)
+    std::vector<LineAddr> lostLines_;         ///< dirty losses, in order
 
     bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
     LatencyEstimates est_;

@@ -48,7 +48,8 @@ class DirectWorkload : public Workload
 FaultCheckResult
 checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                     unsigned schedules,
-                    std::uint64_t accesses_per_schedule, std::uint64_t seed)
+                    std::uint64_t accesses_per_schedule, std::uint64_t seed,
+                    bool with_crashes)
 {
     FaultCheckResult res;
     res.schedules = schedules;
@@ -60,7 +61,9 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
     for (unsigned sched = 0; sched < schedules && res.violation.empty();
          ++sched) {
         SystemConfig fcfg = cfg;
-        fcfg.fault = paperFaultConfig(seed + 977 * (sched + 1));
+        fcfg.fault = with_crashes
+                         ? paperCrashFaultConfig(seed + 977 * (sched + 1))
+                         : paperFaultConfig(seed + 977 * (sched + 1));
         DirectWorkload workload(shared_pages * pageBytes, 4 * pageBytes);
         Rng rng(seed * 0x51ed2701 + sched);
 
@@ -73,6 +76,23 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 oracle;
             std::uint64_t token = 1;
             Cycles now = 0;
+            // Crash-mode bookkeeping: lines the system declared lost are
+            // dropped from the oracle (their stale device value becomes
+            // the accepted answer until the next write).
+            std::size_t lost_cursor = 0;
+            auto sync_lost = [&]() {
+                const auto &lost = system.lostLines();
+                for (; lost_cursor < lost.size(); ++lost_cursor) {
+                    const LineAddr line = lost[lost_cursor];
+                    const auto idx =
+                        system.space().sharedIndexOf(pageOfLine(line));
+                    if (!idx)
+                        continue;
+                    oracle.erase(
+                        {*idx, static_cast<unsigned>(
+                                   line & (linesPerPage - 1))});
+                }
+            };
 
             for (std::uint64_t i = 0; i < accesses_per_schedule; ++i) {
                 const std::uint64_t page = rng.range(0, shared_pages - 1);
@@ -80,11 +100,15 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 // fire and partial migrations (and their aborts) happen.
                 const HostId favoured =
                     static_cast<HostId>(page % fcfg.numHosts);
-                const HostId h =
+                HostId h =
                     rng.chance(0.8)
                         ? favoured
                         : static_cast<HostId>(
                               rng.range(0, fcfg.numHosts - 1));
+                // Crashed hosts issue nothing; rotate to the next alive
+                // host (the schedule never crashes the last one).
+                while (!system.hostAlive(h))
+                    h = static_cast<HostId>((h + 1) % fcfg.numHosts);
                 const CoreId c = static_cast<CoreId>(
                     rng.range(0, fcfg.coresPerHost - 1));
                 const unsigned line =
@@ -114,6 +138,7 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 }
                 now += rng.range(1, 500);
                 system.tick(now);
+                sync_lost();
                 if ((i & 0x7ff) == 0x7ff)
                     system.checkInvariants();
             }
@@ -126,7 +151,11 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                     f->linkErrors.value() + f->retrainEvents.value() +
                     f->poisonTransient.value() +
                     f->poisonPersistent.value() +
-                    f->promotionAborts.value() + f->lineAborts.value();
+                    f->promotionAborts.value() + f->lineAborts.value() +
+                    f->hostCrashes.value() + f->hostRejoins.value();
+                res.crashes += f->hostCrashes.value();
+                res.rejoins += f->hostRejoins.value();
+                res.linesLost += f->crashDirtyLinesLost.value();
             }
         } catch (const SimError &e) {
             res.violation = detail::concat("schedule ", sched,

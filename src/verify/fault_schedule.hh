@@ -32,6 +32,9 @@ struct FaultCheckResult
     unsigned schedules = 0;           ///< fault schedules explored
     std::uint64_t accesses = 0;       ///< total accesses driven
     std::uint64_t faultsInjected = 0; ///< faults observed across schedules
+    std::uint64_t crashes = 0;        ///< host fail-stop events processed
+    std::uint64_t rejoins = 0;        ///< host cold rejoins processed
+    std::uint64_t linesLost = 0;      ///< dirty lines lost across crashes
     std::string violation;            ///< empty when ok
 };
 
@@ -44,11 +47,17 @@ struct FaultCheckResult
  *        paper-default fault rates, reseeded per schedule
  * @param scheme memory-management scheme under test
  * @param seed determinism seed for the access pattern and the schedules
+ * @param with_crashes additionally enable the host fail-stop crash/rejoin
+ *        schedule (paperCrashFaultConfig). Accesses are only issued by
+ *        currently-alive hosts, and a read must return either the
+ *        last-writer oracle value or a stale value for a line the system
+ *        explicitly reported lost (MultiHostSystem::lostLines()).
  */
 FaultCheckResult checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                                      unsigned schedules,
                                      std::uint64_t accesses_per_schedule,
-                                     std::uint64_t seed = 1);
+                                     std::uint64_t seed = 1,
+                                     bool with_crashes = false);
 
 } // namespace pipm
 

@@ -75,7 +75,7 @@ TEST(CoherencePaths, ExclusiveReadGrantThenForwardOnSecondReader)
     const DirEntry *entry = sys.deviceDirectory().probe(line);
     ASSERT_NE(entry, nullptr);
     EXPECT_EQ(entry->state, DevState::M);
-    EXPECT_EQ(entry->owner(), 0);
+    EXPECT_EQ(entry->owner(2), 0);
 
     // Second reader: forward + downgrade to S at both hosts.
     const std::uint64_t before = sys.interHostAccesses.value();
@@ -111,7 +111,7 @@ TEST(CoherencePaths, UpgradeInvalidatesOtherSharers)
     const DirEntry *entry = sys.deviceDirectory().probe(line);
     ASSERT_NE(entry, nullptr);
     EXPECT_EQ(entry->state, DevState::M);
-    EXPECT_EQ(entry->owner(), 0);
+    EXPECT_EQ(entry->owner(2), 0);
     sys.checkInvariants();
 }
 

@@ -32,7 +32,11 @@ TEST(DirEntry, SharerSetOperations)
     EXPECT_FALSE(e.has(0));
     e.remove(3);
     EXPECT_FALSE(e.has(3));
-    EXPECT_EQ(e.owner(), 7);
+    e.state = DevState::M;
+    EXPECT_EQ(e.owner(8), 7);
+    // The scan is bounded by the configured host count: sharer bits
+    // beyond it are never reported as an owner.
+    EXPECT_EQ(e.owner(4), invalidHost);
 }
 
 TEST(DeviceDirectory, AllocateLookupDeallocate)
@@ -45,7 +49,7 @@ TEST(DeviceDirectory, AllocateLookupDeallocate)
     DirEntry *found = dir.lookup(42);
     ASSERT_NE(found, nullptr);
     EXPECT_EQ(found->state, DevState::M);
-    EXPECT_EQ(found->owner(), 1);
+    EXPECT_EQ(found->owner(8), 1);
     auto removed = dir.deallocate(42);
     ASSERT_TRUE(removed);
     EXPECT_EQ(dir.lookup(42), nullptr);
