@@ -27,8 +27,19 @@ main()
     TablePrinter table("Ablation: naive 1-bit coherence (Fig. 8) vs PIPM "
                        "coherence (Fig. 9), speedup over Native");
     table.header({"workload", "pipm-naive", "pipm", "PIPM advantage"});
+    const auto workloads = table1Workloads(cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        sweep.add(cfg, Scheme::native, *workload);
+        sweep.add(cfg, Scheme::pipmNaive, *workload);
+        sweep.add(cfg, Scheme::pipmFull, *workload);
+    }
+    sweep.run();
+
     std::vector<double> naive_col, pipm_col;
-    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+    for (const auto &workload : workloads) {
         const RunResult native =
             cachedRun(cfg, Scheme::native, *workload, opts);
         const RunResult naive =

@@ -31,6 +31,23 @@ main()
     table.header({"workload", "hosts", "memtis", "pipm",
                   "pipm local hit rate"});
 
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool
+    // (the workload objects must outlive the sweep).
+    Sweep sweep(opts);
+    std::vector<std::unique_ptr<Workload>> keep;
+    for (const char *name : names) {
+        for (unsigned hosts : host_counts) {
+            SystemConfig cfg = defaultConfig();
+            cfg.numHosts = hosts;
+            keep.push_back(workloadByName(name, cfg.footprintScale));
+            const Workload &w = *keep.back();
+            sweep.add(cfg, Scheme::native, w);
+            sweep.add(cfg, Scheme::memtis, w);
+            sweep.add(cfg, Scheme::pipmFull, w);
+        }
+    }
+    sweep.run();
+
     for (const char *name : names) {
         for (unsigned hosts : host_counts) {
             SystemConfig cfg = defaultConfig();

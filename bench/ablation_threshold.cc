@@ -29,8 +29,25 @@ main()
         header.push_back("t=" + std::to_string(t));
     table.header(header);
 
-    std::vector<std::vector<double>> cols(std::size(thresholds));
     const SystemConfig base_cfg = defaultConfig();
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool
+    // (the workload objects must outlive the sweep).
+    Sweep sweep(opts);
+    std::vector<std::unique_ptr<Workload>> keep;
+    for (const char *name : names) {
+        keep.push_back(workloadByName(name, base_cfg.footprintScale));
+        const Workload &w = *keep.back();
+        sweep.add(base_cfg, Scheme::native, w);
+        for (unsigned t : thresholds) {
+            SystemConfig cfg = base_cfg;
+            cfg.pipm.migrationThreshold = t;
+            sweep.add(cfg, Scheme::pipmFull, w);
+        }
+    }
+    sweep.run();
+
+    std::vector<std::vector<double>> cols(std::size(thresholds));
     for (const char *name : names) {
         auto workload = workloadByName(name, base_cfg.footprintScale);
         const RunResult native =

@@ -1,11 +1,14 @@
 #include "bench_common.hh"
 
+#include <atomic>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 namespace pipmbench
 {
@@ -85,6 +88,87 @@ hashKey(const std::string &s)
     return buf;
 }
 
+/** Cache key of one experiment (16 hex chars). */
+std::string
+experimentKey(const SystemConfig &cfg, Scheme scheme,
+              const Workload &workload, const Options &opts,
+              const std::string &extra_key)
+{
+    std::ostringstream key_src;
+    key_src << workload.fingerprint() << '|' << toString(scheme) << '|'
+            << configKey(cfg) << '|' << opts.measureRefs << '|'
+            << opts.warmupRefs << '|' << opts.seed << '|' << extra_key;
+    return hashKey(key_src.str());
+}
+
+/**
+ * Load the cache file as key -> serialized-result. Malformed rows
+ * (truncated writes, corrupted keys, short result columns) are skipped
+ * with a warning; the next merge drops them from the file.
+ */
+std::map<std::string, std::string>
+loadCache(const std::string &path)
+{
+    std::map<std::string, std::string> rows;
+    std::ifstream in(path);
+    std::string line;
+    std::size_t lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        bool ok = line.size() > 17 && line[16] == '\t';
+        if (ok) {
+            for (std::size_t i = 0; i < 16; ++i)
+                ok = ok && std::isxdigit(
+                               static_cast<unsigned char>(line[i]));
+        }
+        RunResult parsed;
+        ok = ok && deserialize(line.substr(17), parsed);
+        if (!ok) {
+            std::fprintf(stderr,
+                         "[bench] warning: skipping malformed cache row "
+                         "%s:%zu\n",
+                         path.c_str(), lineno);
+            continue;
+        }
+        rows[line.substr(0, 16)] = line.substr(17);
+    }
+    return rows;
+}
+
+/**
+ * Merge `fresh` rows into the cache file with a single atomic replace:
+ * re-read the file (another process may have added rows), overlay the
+ * new entries, write a temp file in canonical key order and rename it
+ * over the original. Readers never observe a partial file, and the
+ * row order is independent of the execution order that produced it.
+ */
+void
+mergeCache(const std::string &path,
+           const std::map<std::string, std::string> &fresh)
+{
+    std::map<std::string, std::string> rows = loadCache(path);
+    for (const auto &[key, row] : fresh)
+        rows[key] = row;
+    const std::string tmp = path + ".tmp";
+    {
+        std::ofstream out(tmp, std::ios::trunc);
+        for (const auto &[key, row] : rows)
+            out << key << '\t' << row << '\n';
+        if (!out) {
+            std::fprintf(stderr,
+                         "[bench] warning: cannot write cache temp %s\n",
+                         tmp.c_str());
+            return;
+        }
+    }
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        std::fprintf(stderr,
+                     "[bench] warning: cannot replace cache %s\n",
+                     path.c_str());
+        std::remove(tmp.c_str());
+    }
+}
+
 } // namespace
 
 Options
@@ -96,6 +180,8 @@ optionsFromEnv()
     opts.seed = envU64("PIPM_BENCH_SEED", opts.seed);
     if (const char *p = std::getenv("PIPM_BENCH_CACHE"))
         opts.cachePath = p;
+    opts.jobs = static_cast<unsigned>(
+        std::max<std::uint64_t>(1, envU64("PIPM_BENCH_JOBS", 1)));
     return opts;
 }
 
@@ -175,11 +261,8 @@ cachedRun(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
           const Options &opts, const std::string &extra_key)
 {
     cfg.validate();
-    std::ostringstream key_src;
-    key_src << workload.fingerprint() << '|' << toString(scheme) << '|'
-            << configKey(cfg) << '|' << opts.measureRefs << '|'
-            << opts.warmupRefs << '|' << opts.seed << '|' << extra_key;
-    const std::string key = hashKey(key_src.str());
+    const std::string key =
+        experimentKey(cfg, scheme, workload, opts, extra_key);
 
     // Look the key up in the cache file.
     {
@@ -205,9 +288,82 @@ cachedRun(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
     const RunResult r = runExperiment(cfg, scheme, workload,
                                       runConfigOf(opts));
 
-    std::ofstream out(opts.cachePath, std::ios::app);
-    out << key << '\t' << serialize(r) << '\n';
+    mergeCache(opts.cachePath, {{key, serialize(r)}});
     return r;
+}
+
+void
+Sweep::add(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
+           const std::string &extra_key)
+{
+    cfg.validate();
+    items_.push_back(Item{
+        cfg, scheme, &workload, extra_key,
+        experimentKey(cfg, scheme, workload, opts_, extra_key)});
+}
+
+std::size_t
+Sweep::run()
+{
+    // Drop experiments the cache already holds, and key-duplicates
+    // (the same combination enqueued by nested harness loops).
+    const std::map<std::string, std::string> cached =
+        loadCache(opts_.cachePath);
+    std::vector<const Item *> todo;
+    for (const Item &item : items_) {
+        if (cached.count(item.key))
+            continue;
+        bool dup = false;
+        for (const Item *t : todo)
+            dup = dup || t->key == item.key;
+        if (!dup)
+            todo.push_back(&item);
+    }
+    if (todo.empty())
+        return 0;
+
+    // Run the misses on the pool. Results land in an index-addressed
+    // vector, so the merged rows are independent of completion order;
+    // each experiment is a self-contained seeded simulation, so the
+    // row *values* are independent of the job count too.
+    std::vector<std::string> results(todo.size());
+    std::atomic<std::size_t> next{0};
+    const unsigned jobs = std::max(
+        1u, std::min(opts_.jobs,
+                     static_cast<unsigned>(todo.size())));
+    const RunConfig run_cfg = runConfigOf(opts_);
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i = next.fetch_add(1);
+            if (i >= todo.size())
+                return;
+            const Item &item = *todo[i];
+            std::fprintf(stderr, "[bench] running %s/%s%s%s...\n",
+                         item.workload->name().c_str(),
+                         std::string(toString(item.scheme)).c_str(),
+                         item.extraKey.empty() ? "" : " ",
+                         item.extraKey.c_str());
+            results[i] = serialize(runExperiment(
+                item.cfg, item.scheme, *item.workload, run_cfg));
+        }
+    };
+    if (jobs == 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(jobs);
+        for (unsigned j = 0; j < jobs; ++j)
+            pool.emplace_back(worker);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    // Single-writer merge of all new rows in one atomic replace.
+    std::map<std::string, std::string> fresh;
+    for (std::size_t i = 0; i < todo.size(); ++i)
+        fresh[todo[i]->key] = results[i];
+    mergeCache(opts_.cachePath, fresh);
+    return todo.size();
 }
 
 double

@@ -6,14 +6,26 @@
  * end-to-end matrix also feeds Figs. 11, 12 and 13. Since each harness is
  * its own binary, runs are memoised in a TSV cache file keyed by the full
  * experiment fingerprint (workload, scheme, configuration, run length,
- * seed), so `for b in build/bench/*; do $b; done` simulates each
+ * seed), so running every harness binary in sequence simulates each
  * combination exactly once.
+ *
+ * Harnesses enqueue every (config, scheme, workload) combination they
+ * will read into a Sweep up front; Sweep::run() executes the ones the
+ * cache does not already hold on a PIPM_BENCH_JOBS-sized thread pool.
+ * Each experiment is a self-contained seeded simulation, so the results
+ * — and the cache rows written — are bit-identical regardless of the
+ * job count. Cache writes go through a single-writer merge: the file is
+ * re-read, merged with the new rows, and atomically replaced via a
+ * temp file + rename, with rows in canonical (key-sorted) order.
+ * Malformed or truncated rows (e.g. from an interrupted run) are
+ * skipped with a warning and dropped on the next merge.
  *
  * Environment knobs:
  *   PIPM_BENCH_REFS    measured references per core (default 150000)
  *   PIPM_BENCH_WARMUP  warmup references per core (default 40000)
  *   PIPM_BENCH_SEED    RNG seed (default 42)
  *   PIPM_BENCH_CACHE   cache file path (default ./pipm_bench_cache.tsv)
+ *   PIPM_BENCH_JOBS    worker threads for Sweep::run (default 1)
  *   PIPM_BENCH_FAULTS  any value but empty/"0": enable the paper-default
  *                      fault schedule (harnesses calling applyEnvFaults);
  *                      "crash" or "2" additionally enables the host
@@ -41,6 +53,7 @@ struct Options
     std::uint64_t warmupRefs = 40'000;
     std::uint64_t seed = 42;
     std::string cachePath = "pipm_bench_cache.tsv";
+    unsigned jobs = 1;   ///< Sweep::run worker threads
 };
 
 /** Read the PIPM_BENCH_* environment variables. */
@@ -59,6 +72,48 @@ pipm::RunResult cachedRun(const pipm::SystemConfig &cfg,
                           const pipm::Workload &workload,
                           const Options &opts,
                           const std::string &extra_key = "");
+
+/**
+ * A batch of experiments executed on a thread pool.
+ *
+ * Harnesses add() every combination they will later read (duplicates
+ * are fine — they dedupe by cache key), call run() once, and then keep
+ * their existing cachedRun() reporting loops, which all hit the cache.
+ * run() simulates only the cache misses, with PIPM_BENCH_JOBS worker
+ * threads, and merges the new rows into the cache file in one atomic
+ * replace. Results are independent of the job count: every experiment
+ * is a self-contained seeded simulation.
+ */
+class Sweep
+{
+  public:
+    explicit Sweep(const Options &opts) : opts_(opts) {}
+
+    /** Enqueue one experiment (the config is copied). */
+    void add(const pipm::SystemConfig &cfg, pipm::Scheme scheme,
+             const pipm::Workload &workload,
+             const std::string &extra_key = "");
+
+    /**
+     * Simulate every enqueued experiment the cache does not hold and
+     * merge the results into the cache file.
+     * @return number of experiments actually simulated
+     */
+    std::size_t run();
+
+  private:
+    struct Item
+    {
+        pipm::SystemConfig cfg;
+        pipm::Scheme scheme;
+        const pipm::Workload *workload;
+        std::string extraKey;
+        std::string key;
+    };
+
+    Options opts_;
+    std::vector<Item> items_;
+};
 
 /** Fingerprint of every config field that affects measurements. */
 std::string configKey(const pipm::SystemConfig &cfg);

@@ -36,7 +36,23 @@ main()
     const SystemConfig base_cfg = defaultConfig();
     const unsigned total_cores = base_cfg.numHosts * base_cfg.coresPerHost;
 
-    for (const auto &workload : table1Workloads(base_cfg.footprintScale)) {
+    const auto workloads = table1Workloads(base_cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        sweep.add(base_cfg, Scheme::native, *workload);
+        for (Scheme s : schemes) {
+            for (double interval : intervals_ms) {
+                SystemConfig cfg = base_cfg;
+                cfg.osMigration.intervalMs = interval;
+                sweep.add(cfg, s, *workload);
+            }
+        }
+    }
+    sweep.run();
+
+    for (const auto &workload : workloads) {
         const RunResult native =
             cachedRun(base_cfg, Scheme::native, *workload, opts);
         for (Scheme s : schemes) {

@@ -25,8 +25,18 @@ main()
 
     TablePrinter table("Figure 5: percentage of harmful page migrations");
     table.header({"workload", "nomad", "memtis"});
+    const auto workloads = table1Workloads(cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        sweep.add(cfg, Scheme::nomad, *workload);
+        sweep.add(cfg, Scheme::memtis, *workload);
+    }
+    sweep.run();
+
     std::vector<double> nomad_pct, memtis_pct;
-    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+    for (const auto &workload : workloads) {
         const RunResult nomad =
             cachedRun(cfg, Scheme::nomad, *workload, opts);
         const RunResult memtis =

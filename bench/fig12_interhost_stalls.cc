@@ -33,9 +33,20 @@ main()
         header.push_back(std::string(toString(s)));
     table.header(header);
 
+    const auto workloads = table1Workloads(cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        sweep.add(cfg, Scheme::native, *workload);
+        for (Scheme s : schemes)
+            sweep.add(cfg, s, *workload);
+    }
+    sweep.run();
+
     std::vector<double> sums(std::size(schemes), 0.0);
     unsigned count = 0;
-    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+    for (const auto &workload : workloads) {
         const RunResult native =
             cachedRun(cfg, Scheme::native, *workload, opts);
         std::vector<std::string> row = {workload->name()};

@@ -32,9 +32,20 @@ main()
     table.header({"workload", "nomad", "hemem", "memtis", "os-skew",
                   "hw-static", "pipm-page", "pipm-line"});
 
+    const auto workloads = table1Workloads(cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        for (Scheme s : schemes)
+            sweep.add(cfg, s, *workload);
+        sweep.add(cfg, Scheme::pipmFull, *workload);
+    }
+    sweep.run();
+
     std::vector<double> sums(std::size(schemes) + 2, 0.0);
     unsigned count = 0;
-    for (const auto &workload : table1Workloads(cfg.footprintScale)) {
+    for (const auto &workload : workloads) {
         std::vector<std::string> row = {workload->name()};
         for (std::size_t i = 0; i < std::size(schemes); ++i) {
             const RunResult r =

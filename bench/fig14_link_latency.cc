@@ -28,9 +28,23 @@ main()
                        "latency");
     table.header({"workload", "50ns", "100ns", "extra gain @100ns"});
 
-    std::vector<double> base_speedups, high_speedups;
     const SystemConfig base_cfg = defaultConfig();
-    for (const auto &workload : table1Workloads(base_cfg.footprintScale)) {
+    const auto workloads = table1Workloads(base_cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        for (double latency : latencies_ns) {
+            SystemConfig cfg = base_cfg;
+            cfg.link.latencyNs = latency;
+            sweep.add(cfg, Scheme::native, *workload);
+            sweep.add(cfg, Scheme::pipmFull, *workload);
+        }
+    }
+    sweep.run();
+
+    std::vector<double> base_speedups, high_speedups;
+    for (const auto &workload : workloads) {
         double speedups[2];
         for (int i = 0; i < 2; ++i) {
             SystemConfig cfg = base_cfg;

@@ -36,9 +36,23 @@ main()
     table.header({"workload", points[0].label, points[1].label,
                   points[2].label});
 
-    std::vector<std::vector<double>> cols(3);
     const SystemConfig base_cfg = defaultConfig();
-    for (const auto &workload : table1Workloads(base_cfg.footprintScale)) {
+    const auto workloads = table1Workloads(base_cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        for (const Point &p : points) {
+            SystemConfig cfg = base_cfg;
+            cfg.link.bytesPerNs = p.bytesPerNs;
+            sweep.add(cfg, Scheme::native, *workload);
+            sweep.add(cfg, Scheme::pipmFull, *workload);
+        }
+    }
+    sweep.run();
+
+    std::vector<std::vector<double>> cols(3);
+    for (const auto &workload : workloads) {
         std::vector<std::string> row = {workload->name()};
         for (int i = 0; i < 3; ++i) {
             SystemConfig cfg = base_cfg;

@@ -31,9 +31,25 @@ main()
     table.header({"workload", "64B (~16KB)", "256B (~64KB)",
                   "1KB (~256KB)", "infinite"});
 
-    std::vector<std::vector<double>> cols(std::size(sizes));
     const SystemConfig base_cfg = defaultConfig();
-    for (const auto &workload : table1Workloads(base_cfg.footprintScale)) {
+    const auto workloads = table1Workloads(base_cfg.footprintScale);
+
+    // Enqueue every combination up front for the PIPM_BENCH_JOBS pool.
+    Sweep sweep(opts);
+    for (const auto &workload : workloads) {
+        SystemConfig inf_cfg = base_cfg;
+        inf_cfg.pipm.infiniteGlobalCache = true;
+        sweep.add(inf_cfg, Scheme::pipmFull, *workload);
+        for (std::uint64_t size : sizes) {
+            SystemConfig cfg = base_cfg;
+            cfg.pipm.globalCacheBytes = size;
+            sweep.add(cfg, Scheme::pipmFull, *workload);
+        }
+    }
+    sweep.run();
+
+    std::vector<std::vector<double>> cols(std::size(sizes));
+    for (const auto &workload : workloads) {
         SystemConfig inf_cfg = base_cfg;
         inf_cfg.pipm.infiniteGlobalCache = true;
         const RunResult infinite =

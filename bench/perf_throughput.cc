@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Simulator-throughput harness (DESIGN.md §9): times warm runExperiment
+ * calls per scheme and reports wall-clock seconds and simulated
+ * references per second, so data-structure or hot-path regressions show
+ * up as numbers rather than anecdotes.
+ *
+ * Unlike the figure harnesses this never reads or writes the TSV cache
+ * — the simulation itself is the thing being measured. One untimed
+ * warmup run heats the allocator and code paths first; each scheme is
+ * then timed with std::chrono::steady_clock.
+ *
+ * Output: a human-readable table on stdout and a JSON summary written
+ * to PIPM_BENCH_PERF_JSON (default ./BENCH_perf.json) for CI artifact
+ * upload and cross-commit comparison.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "bench_common.hh"
+#include "common/table_printer.hh"
+#include "workloads/catalog.hh"
+
+int
+main()
+{
+    using namespace pipm;
+    using namespace pipmbench;
+    using clock = std::chrono::steady_clock;
+
+    const Options opts = optionsFromEnv();
+    const SystemConfig cfg = defaultConfig();
+    const RunConfig run_cfg = runConfigOf(opts);
+    const auto workload = workloadByName("pr", cfg.footprintScale);
+
+    // Simulated references fed into one run: warmup plus measurement,
+    // on every core of every host.
+    const double refs_per_run =
+        static_cast<double>(opts.measureRefs + opts.warmupRefs) *
+        cfg.numHosts * cfg.coresPerHost;
+
+    // Untimed warmup: first-touch page faults, allocator pools and
+    // branch predictors would otherwise tax the first timed scheme.
+    runExperiment(cfg, Scheme::native, *workload, run_cfg);
+
+    TablePrinter table("Simulator throughput per scheme (workload pr)");
+    table.header({"scheme", "wall [s]", "refs/s", "exec cycles"});
+
+    std::ostringstream json;
+    json << "{\n  \"workload\": \"" << workload->name() << "\",\n"
+         << "  \"measure_refs_per_core\": " << opts.measureRefs << ",\n"
+         << "  \"warmup_refs_per_core\": " << opts.warmupRefs << ",\n"
+         << "  \"seed\": " << opts.seed << ",\n  \"schemes\": [";
+
+    double total_s = 0.0;
+    bool first = true;
+    for (Scheme s : allSchemes) {
+        const auto t0 = clock::now();
+        const RunResult r = runExperiment(cfg, s, *workload, run_cfg);
+        const auto t1 = clock::now();
+        const double wall =
+            std::chrono::duration<double>(t1 - t0).count();
+        const double rate = wall > 0.0 ? refs_per_run / wall : 0.0;
+        total_s += wall;
+
+        table.row({std::string(toString(s)), TablePrinter::num(wall, 3),
+                   TablePrinter::num(rate, 0),
+                   std::to_string(r.execCycles)});
+        json << (first ? "" : ",") << "\n    {\"scheme\": \""
+             << toString(s) << "\", \"wall_s\": " << wall
+             << ", \"refs_per_s\": " << rate
+             << ", \"exec_cycles\": " << r.execCycles << "}";
+        first = false;
+    }
+    json << "\n  ],\n  \"total_wall_s\": " << total_s
+         << ",\n  \"total_refs_per_s\": "
+         << (total_s > 0.0
+                 ? refs_per_run * static_cast<double>(allSchemes.size()) /
+                       total_s
+                 : 0.0)
+         << "\n}\n";
+
+    table.row({"total", TablePrinter::num(total_s, 3),
+               TablePrinter::num(refs_per_run *
+                                     static_cast<double>(
+                                         allSchemes.size()) /
+                                     total_s,
+                                 0),
+               ""});
+    table.print(std::cout);
+
+    const char *json_env = std::getenv("PIPM_BENCH_PERF_JSON");
+    const std::string json_path = json_env ? json_env : "BENCH_perf.json";
+    std::ofstream out(json_path, std::ios::trunc);
+    out << json.str();
+    if (!out)
+        std::fprintf(stderr, "[bench] warning: cannot write %s\n",
+                     json_path.c_str());
+    else
+        std::cout << "Wrote " << json_path << "\n";
+    return 0;
+}

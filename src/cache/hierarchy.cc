@@ -78,28 +78,24 @@ CacheHierarchy::fill(CoreId core, LineAddr line, HostState state, bool dirty,
 {
     panic_if(state == HostState::I, "filling line ", line, " in state I");
     std::optional<Eviction> out;
-    if (!llc_.probe(line)) {
-        auto victim = llc_.insert(line, LlcMeta{state, dirty, data});
-        if (victim) {
-            llcEvictions.inc();
-            // Inclusive: back-invalidate the victim from all L1s. A dirty
-            // L1 copy cannot be newer than the LLC copy because writes
-            // update both (recordWrite), so no data merge is needed.
-            dropFromL1s(victim->key, -1);
-            out = Eviction{victim->key, victim->meta.state,
-                           victim->meta.dirty, victim->meta.data};
-        }
-    } else {
+    std::optional<SetAssoc<LlcMeta>::Entry> victim;
+    if (LlcMeta *m = llc_.fetchOrInsert(line, LlcMeta{state, dirty, data},
+                                        victim)) {
         // Already resident (e.g. upgrade fill): refresh state/data.
-        LlcMeta *m = llc_.lookup(line);
         m->state = state;
         m->dirty = m->dirty || dirty;
         m->data = data;
+    } else if (victim) {
+        llcEvictions.inc();
+        // Inclusive: back-invalidate the victim from all L1s. A dirty
+        // L1 copy cannot be newer than the LLC copy because writes
+        // update both (recordWrite), so no data merge is needed.
+        dropFromL1s(victim->key, -1);
+        out = Eviction{victim->key, victim->meta.state,
+                       victim->meta.dirty, victim->meta.data};
     }
-    if (!l1s_[core].probe(line)) {
-        // L1 victims need no writeback: the LLC copy is authoritative.
-        l1s_[core].insert(line, L1Meta{false});
-    }
+    // L1 victims need no writeback: the LLC copy is authoritative.
+    l1s_[core].insertIfAbsent(line, L1Meta{false});
     return out;
 }
 

@@ -9,6 +9,16 @@
  * latencies. The simulator resolves each miss atomically, so no MSHRs are
  * needed at this layer — memory-level parallelism is modelled by the core's
  * instruction window instead (see sim/core.hh).
+ *
+ * Storage is structure-of-arrays with one-byte tag fingerprints: each way
+ * has a tag byte (0 = empty, else a 7-bit hash fingerprint with the top
+ * bit set), so the way scan of a lookup reads a 16-byte tag strip — one
+ * cache line for a 16-way set — and touches the full 8-byte keys only on
+ * a fingerprint match (~1/128 false-positive rate per way). Replacement
+ * words and Meta payloads live in separate arrays that only hits and
+ * fills touch. Lookups dominate the simulator's hot path (tens of
+ * millions of directory and LLC probes per run), which makes the scan
+ * footprint a first-order throughput term; see DESIGN.md §9.
  */
 
 #ifndef PIPM_CACHE_SET_ASSOC_HH
@@ -52,7 +62,10 @@ class SetAssoc
     SetAssoc(unsigned sets, unsigned ways,
              ReplPolicy policy = ReplPolicy::lru, std::uint64_t seed = 1)
         : sets_(sets), ways_(ways), repl_(policy, seed),
-          lines_(static_cast<std::size_t>(sets) * ways)
+          tags_(static_cast<std::size_t>(sets) * ways, 0),
+          keys_(static_cast<std::size_t>(sets) * ways, 0),
+          replWords_(static_cast<std::size_t>(sets) * ways, 0),
+          meta_(static_cast<std::size_t>(sets) * ways)
     {
         panic_if(sets == 0 || (sets & (sets - 1)) != 0,
                  "set count must be a nonzero power of two, got ", sets);
@@ -78,19 +91,19 @@ class SetAssoc
     Meta *
     lookup(std::uint64_t key)
     {
-        Slot *slot = find(key);
-        if (!slot)
+        const std::size_t i = find(key);
+        if (i == npos)
             return nullptr;
-        slot->repl = repl_.onHit(slot->repl, ++useClock_);
-        return &slot->entry.meta;
+        replWords_[i] = repl_.onHit(replWords_[i], ++useClock_);
+        return &meta_[i];
     }
 
     /** Look up without touching replacement state (probe). */
     const Meta *
     probe(std::uint64_t key) const
     {
-        const Slot *slot = const_cast<SetAssoc *>(this)->find(key);
-        return slot ? &slot->entry.meta : nullptr;
+        const std::size_t i = find(key);
+        return i == npos ? nullptr : &meta_[i];
     }
 
     /**
@@ -102,64 +115,108 @@ class SetAssoc
     std::optional<Entry>
     insert(std::uint64_t key, Meta meta)
     {
-        panic_if(find(key) != nullptr, "duplicate insert of key ", key);
-        const std::size_t base = setBase(key);
-        // Prefer an invalid way.
+        // One pass over the set checks the no-duplicate invariant and
+        // finds a free way at the same time.
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        std::size_t free_way = npos;
         for (unsigned w = 0; w < ways_; ++w) {
-            Slot &slot = lines_[base + w];
-            if (!slot.valid) {
-                fill(slot, key, std::move(meta));
+            const std::uint8_t t = tags_[base + w];
+            if (t == 0) {
+                if (free_way == npos)
+                    free_way = w;
+            } else {
+                panic_if(t == fp && keys_[base + w] == key,
+                         "duplicate insert of key ", key);
+            }
+        }
+        if (free_way != npos) {
+            fill(base + free_way, fp, key, std::move(meta));
+            return std::nullopt;
+        }
+        return evictAndFill(base, fp, key, std::move(meta));
+    }
+
+    /**
+     * Insert a key unless it is already resident; the resident case
+     * leaves the entry and its replacement state untouched.
+     * @return the evicted entry, if the insert displaced one
+     */
+    std::optional<Entry>
+    insertIfAbsent(std::uint64_t key, Meta meta)
+    {
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        std::size_t free_way = npos;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const std::uint8_t t = tags_[base + w];
+            if (t == 0) {
+                if (free_way == npos)
+                    free_way = w;
+            } else if (t == fp && keys_[base + w] == key) {
                 return std::nullopt;
             }
         }
-        // Evict per policy. Associativity is bounded, so the scratch
-        // words live on the stack (hot path: one per fill).
-        panic_if(ways_ > maxWays, "associativity above ", maxWays);
-        ReplWord words[maxWays];
-        for (unsigned w = 0; w < ways_; ++w)
-            words[w] = lines_[base + w].repl;
-        const std::size_t victim_way =
-            repl_.victim(std::span<ReplWord>(words, ways_));
-        // SRRIP ages the whole set while choosing; write the words back.
-        if (repl_.policy() == ReplPolicy::srrip) {
-            for (unsigned w = 0; w < ways_; ++w)
-                lines_[base + w].repl = words[w];
+        if (free_way != npos) {
+            fill(base + free_way, fp, key, std::move(meta));
+            return std::nullopt;
         }
-        Slot &victim = lines_[base + victim_way];
-        Entry evicted = victim.entry;
-        fill(victim, key, std::move(meta));
-        return evicted;
+        return evictAndFill(base, fp, key, std::move(meta));
+    }
+
+    /**
+     * Single-scan fill: return the resident entry after an onHit touch,
+     * or insert the key (evicting if the set is full). Equivalent to
+     * `lookup(key)` followed by `insert` on miss, in one way scan.
+     * @param evicted receives the displaced entry, if any
+     * @return the resident Meta, or nullptr when the key was inserted
+     */
+    Meta *
+    fetchOrInsert(std::uint64_t key, Meta meta,
+                  std::optional<Entry> &evicted)
+    {
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        std::size_t free_way = npos;
+        for (unsigned w = 0; w < ways_; ++w) {
+            const std::uint8_t t = tags_[base + w];
+            if (t == 0) {
+                if (free_way == npos)
+                    free_way = w;
+            } else if (t == fp && keys_[base + w] == key) {
+                const std::size_t i = base + w;
+                replWords_[i] = repl_.onHit(replWords_[i], ++useClock_);
+                return &meta_[i];
+            }
+        }
+        if (free_way != npos)
+            fill(base + free_way, fp, key, std::move(meta));
+        else
+            evicted = evictAndFill(base, fp, key, std::move(meta));
+        return nullptr;
     }
 
     /** Remove a key if present; returns its entry. */
     std::optional<Entry>
     invalidate(std::uint64_t key)
     {
-        Slot *slot = find(key);
-        if (!slot)
+        const std::size_t i = find(key);
+        if (i == npos)
             return std::nullopt;
-        Entry out = slot->entry;
-        slot->valid = false;
-        return out;
+        tags_[i] = 0;
+        return Entry{keys_[i], meta_[i]};
     }
 
     /** Apply fn to every valid entry (e.g. flush, stats, invariants). */
     void
     forEach(const std::function<void(const Entry &)> &fn) const
     {
-        for (const Slot &slot : lines_) {
-            if (slot.valid)
-                fn(slot.entry);
-        }
-    }
-
-    /** Apply fn to every valid entry, allowing mutation of the meta. */
-    void
-    forEachMutable(const std::function<void(Entry &)> &fn)
-    {
-        for (Slot &slot : lines_) {
-            if (slot.valid)
-                fn(slot.entry);
+        for (std::size_t i = 0; i < keys_.size(); ++i) {
+            if (tags_[i])
+                fn(Entry{keys_[i], meta_[i]});
         }
     }
 
@@ -167,8 +224,8 @@ class SetAssoc
     void
     clear()
     {
-        for (Slot &slot : lines_)
-            slot.valid = false;
+        std::fill(tags_.begin(), tags_.end(),
+                  static_cast<std::uint8_t>(0));
     }
 
     /** Number of valid entries (O(capacity); for stats/tests only). */
@@ -176,10 +233,8 @@ class SetAssoc
     occupancy() const
     {
         std::uint64_t n = 0;
-        for (const Slot &slot : lines_) {
-            if (slot.valid)
-                ++n;
-        }
+        for (std::uint8_t t : tags_)
+            n += t != 0;
         return n;
     }
 
@@ -188,47 +243,90 @@ class SetAssoc
     std::uint64_t capacity() const { return std::uint64_t(sets_) * ways_; }
 
   private:
-    struct Slot
-    {
-        bool valid = false;
-        ReplWord repl = 0;
-        Entry entry{};
-    };
+    static constexpr std::size_t npos = static_cast<std::size_t>(-1);
 
-    std::size_t
-    setBase(std::uint64_t key) const
+    /** Multiplicative hash; spreads page-strided keys across sets. */
+    static std::uint64_t
+    hashOf(std::uint64_t key)
     {
-        // Multiplicative hash spreads page-strided keys across sets.
-        const std::uint64_t h = key * 0x9e3779b97f4a7c15ull;
+        return key * 0x9e3779b97f4a7c15ull;
+    }
+
+    /** First slot of the key's set (hash bits 32..). */
+    std::size_t
+    baseOf(std::uint64_t h) const
+    {
         return static_cast<std::size_t>((h >> 32) & (sets_ - 1)) * ways_;
     }
 
-    Slot *
-    find(std::uint64_t key)
+    /**
+     * Tag fingerprint: hash bits 56..62 with the top bit forced so a
+     * resident tag is never 0 (the empty marker). Disjoint from the
+     * set-index bits up to 2^24 sets.
+     */
+    static std::uint8_t
+    fpOf(std::uint64_t h)
     {
-        const std::size_t base = setBase(key);
+        return static_cast<std::uint8_t>((h >> 56) | 0x80u);
+    }
+
+    /** Index of a resident key's way slot, or npos. */
+    std::size_t
+    find(std::uint64_t key) const
+    {
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        const std::uint8_t *tags = tags_.data() + base;
+        const std::uint64_t *keys = keys_.data() + base;
         for (unsigned w = 0; w < ways_; ++w) {
-            Slot &slot = lines_[base + w];
-            if (slot.valid && slot.entry.key == key)
-                return &slot;
+            if (tags[w] == fp && keys[w] == key)
+                return base + w;
         }
-        return nullptr;
+        return npos;
     }
 
     void
-    fill(Slot &slot, std::uint64_t key, Meta meta)
+    fill(std::size_t i, std::uint8_t fp, std::uint64_t key, Meta meta)
     {
-        slot.valid = true;
-        slot.repl = repl_.onFill(++useClock_);
-        slot.entry.key = key;
-        slot.entry.meta = std::move(meta);
+        tags_[i] = fp;
+        replWords_[i] = repl_.onFill(++useClock_);
+        keys_[i] = key;
+        meta_[i] = std::move(meta);
+    }
+
+    /** Evict the set's policy victim and fill the new key in its place. */
+    std::optional<Entry>
+    evictAndFill(std::size_t base, std::uint8_t fp, std::uint64_t key,
+                 Meta meta)
+    {
+        // Associativity is bounded, so the scratch words live on the
+        // stack (hot path: one per capacity fill).
+        panic_if(ways_ > maxWays, "associativity above ", maxWays);
+        ReplWord words[maxWays];
+        for (unsigned w = 0; w < ways_; ++w)
+            words[w] = replWords_[base + w];
+        const std::size_t victim_way =
+            repl_.victim(std::span<ReplWord>(words, ways_));
+        // SRRIP ages the whole set while choosing; write the words back.
+        if (repl_.policy() == ReplPolicy::srrip) {
+            for (unsigned w = 0; w < ways_; ++w)
+                replWords_[base + w] = words[w];
+        }
+        const std::size_t victim = base + victim_way;
+        Entry evicted{keys_[victim], std::move(meta_[victim])};
+        fill(victim, fp, key, std::move(meta));
+        return evicted;
     }
 
     unsigned sets_;
     unsigned ways_;
     Replacement repl_;
     std::uint64_t useClock_ = 0;
-    std::vector<Slot> lines_;
+    std::vector<std::uint8_t> tags_;     ///< 0 = empty, else fingerprint
+    std::vector<std::uint64_t> keys_;    ///< confirmed on tag match only
+    std::vector<ReplWord> replWords_;    ///< touched on hit/fill only
+    std::vector<Meta> meta_;             ///< touched on hit/fill only
 };
 
 } // namespace pipm

@@ -44,10 +44,10 @@
 #define PIPM_FAULT_FAULT_INJECTOR_HH
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
@@ -111,6 +111,9 @@ class FaultInjector
 
     /** Whether a line has been discovered persistently poisoned. */
     bool linePersistentlyPoisoned(LineAddr line) const;
+
+    /** Pre-size the per-line poison memo (first-touch entries). */
+    void reservePoison(std::uint64_t lines) { poison_.reserve(lines); }
 
     /**
      * Force a line into the persistent-poison state. Used by the crash
@@ -191,7 +194,7 @@ class FaultInjector
     Cycles backoffUntil_ = 0;
     unsigned backoffExp_ = 0;
 
-    std::unordered_map<LineAddr, PoisonState> poison_;
+    FlatMap<LineAddr, PoisonState> poison_;
 
     /** Generate the crash schedule (constructor helper). */
     void generateCrashSchedule();

@@ -13,8 +13,8 @@
 #define PIPM_MEM_MEMORY_IMAGE_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/types.hh"
 
 namespace pipm
@@ -50,8 +50,11 @@ class MemoryImage
         write(to, read(from));
     }
 
+    /** Pre-size for an expected written-line count (avoids rehash churn). */
+    void reserve(std::uint64_t lines) { data_.reserve(lines); }
+
   private:
-    std::unordered_map<LineAddr, std::uint64_t> data_;
+    FlatMap<LineAddr, std::uint64_t> data_;
 };
 
 } // namespace pipm

@@ -19,7 +19,7 @@ HarmfulTracker::onMigration(std::uint64_t shared_idx, HostId host)
     auto it = live_.find(shared_idx);
     if (it != live_.end()) {
         finalize(it->second);
-        live_.erase(it);
+        live_.erase(it);   // backward shift: `it` is dead after this
     }
     Record r;
     r.host = host;

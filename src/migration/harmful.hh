@@ -17,8 +17,8 @@
 #define PIPM_MIGRATION_HARMFUL_HH
 
 #include <cstdint>
-#include <unordered_map>
 
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -37,6 +37,9 @@ class HarmfulTracker
      */
     HarmfulTracker(Cycles est_local, Cycles est_cxl, Cycles est_gim,
                    Cycles migration_cost);
+
+    /** Pre-size the live-record table (one record per migrated page). */
+    void reserve(std::uint64_t pages) { live_.reserve(pages); }
 
     /** A page was migrated to `host`; finalises any live record. */
     void onMigration(std::uint64_t shared_idx, HostId host);
@@ -80,7 +83,7 @@ class HarmfulTracker
     Cycles benefitPerHit_;   ///< est_cxl - est_local
     Cycles harmPerRemote_;   ///< est_gim - est_cxl
     Cycles migrationCost_;
-    std::unordered_map<std::uint64_t, Record> live_;
+    FlatMap<std::uint64_t, Record> live_;
 };
 
 } // namespace pipm

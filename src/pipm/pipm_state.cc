@@ -80,6 +80,19 @@ PipmState::migratedPagesOn(HostId h) const
     return local_[h].size();
 }
 
+void
+PipmState::reservePages(std::uint64_t shared_pages,
+                        std::uint64_t local_pages_per_host)
+{
+    // The tables hold one entry per *migrated* page, which is a small
+    // slice of shared memory; cap the pre-size so a large address space
+    // doesn't buy cache-hostile tables (growth is amortised past it).
+    constexpr std::uint64_t cap = 1u << 14;
+    global_.reserve(std::min(shared_pages, cap));
+    for (auto &l : local_)
+        l.reserve(std::min({shared_pages, local_pages_per_host, cap}));
+}
+
 bool
 PipmState::voteUpdate(GlobalRemapEntry &g, HostId requester)
 {
@@ -314,7 +327,7 @@ void
 PipmState::checkRemapInvariants() const
 {
     for (unsigned h = 0; h < numHosts_; ++h) {
-        std::unordered_set<PageFrame> frames;
+        FlatSet<PageFrame> frames;
         std::uint64_t lines = 0;
         for (const auto &[page, entry] : local_[h]) {
             auto git = global_.find(page);
@@ -322,7 +335,7 @@ PipmState::checkRemapInvariants() const
                          git->second.curHost != static_cast<HostId>(h),
                      "local entry for page ", page, " on host ", h,
                      " without a matching global curHost");
-            panic_if(!frames.insert(entry.localPfn).second,
+            panic_if(!frames.insert(entry.localPfn),
                      "local frame ", entry.localPfn,
                      " doubly mapped on host ", h);
             lines += static_cast<std::uint64_t>(

@@ -21,11 +21,10 @@
 #define PIPM_PIPM_STATE_HH
 
 #include <cstdint>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 
@@ -111,12 +110,26 @@ class PipmState
     /** Count of pages with a local entry on host h. */
     std::uint64_t migratedPagesOn(HostId h) const;
 
-    /** All local remap entries of host h (crash sweep, tests). */
-    const std::unordered_map<PageFrame, LocalRemapEntry> &
+    /**
+     * All local remap entries of host h (crash sweep, tests). Iteration
+     * order is probe order — consumers whose results depend on visit
+     * order must go through sortedKeys() first.
+     */
+    const FlatMap<PageFrame, LocalRemapEntry> &
     localEntries(HostId h) const
     {
         return local_[h];
     }
+
+    /**
+     * Pre-size the remap tables (called once at system construction;
+     * avoids rehash churn in the per-access path during warmup).
+     * @param shared_pages shared-heap pages the global table may track
+     * @param local_pages_per_host bound on concurrently migrated pages
+     *        per host (local frames available to PIPM)
+     */
+    void reservePages(std::uint64_t shared_pages,
+                      std::uint64_t local_pages_per_host);
 
     // ---- Software interface (§6) ---------------------------------------
 
@@ -236,9 +249,9 @@ class PipmState
     std::uint8_t counterMax_;       ///< 2^globalCounterBits - 1
     std::uint8_t localCounterMax_;  ///< 2^localCounterBits - 1
 
-    std::unordered_map<PageFrame, GlobalRemapEntry> global_;
-    std::unordered_set<PageFrame> migrationDisabled_;
-    std::vector<std::unordered_map<PageFrame, LocalRemapEntry>> local_;
+    FlatMap<PageFrame, GlobalRemapEntry> global_;
+    FlatSet<PageFrame> migrationDisabled_;
+    std::vector<FlatMap<PageFrame, LocalRemapEntry>> local_;
     std::vector<std::uint64_t> linesOn_;
     StatGroup stats_;
 };

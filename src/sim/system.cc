@@ -75,10 +75,25 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
     hostEpoch_.assign(cfg.numHosts, 0);
     hostDownUntil_.assign(cfg.numHosts, 0);
 
+    // Pre-size the sparse memory image for the written working set so
+    // rehash churn doesn't dominate early-fill cost. The bound matters
+    // in both directions: too small re-rehashes during warmup, too
+    // large spreads the table past the LLC and turns every probe into
+    // a DRAM miss (the image holds touched lines, not all of shared
+    // memory).
+    const std::uint64_t shared_lines =
+        space_->sharedPages() * linesPerPage;
+    mem_.reserve(std::min<std::uint64_t>(shared_lines, 1u << 15));
+
     if (cfg.fault.enabled) {
         faults_ = std::make_unique<FaultInjector>(
             cfg.fault, cfg.numHosts,
             seed ^ (cfg.fault.seed * 0x9e3779b97f4a7c15ull));
+        if (cfg.fault.poisonRate > 0.0) {
+            // poisonCheck memoises every first-touched CXL line.
+            faults_->reservePoison(
+                std::min<std::uint64_t>(shared_lines, 1u << 15));
+        }
     }
     if (cfg.link.hasSwitch) {
         switch_ = std::make_unique<CxlSwitch>(cfg.link.switchBytesPerNs,
@@ -125,6 +140,8 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
             scheme == Scheme::hwStatic ? PipmMode::staticMap
                                        : PipmMode::vote,
             *space_);
+        pipm_->reservePages(space_->sharedPages(),
+                            cfg.localBytesPerHost() / pageBytes);
         naiveCoherence_ = scheme == Scheme::pipmNaive;
     }
 
@@ -154,6 +171,8 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
                 (cfg.numHosts * cfg.coresPerHost - 1);
         harmful_ = std::make_unique<HarmfulTracker>(est_.local, est_.cxl,
                                                     est_.gim, mig_cost);
+        harmful_->reserve(std::min<std::uint64_t>(space_->sharedPages(),
+                                                  1u << 14));
         nextEpoch_ = cfg.osEpochCycles();
     }
 
@@ -1296,11 +1315,9 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
 
     // ---- 3. Remap-state recovery (partially migrated pages) ------------
     if (pipm_) {
-        std::vector<PageFrame> pages;
-        pages.reserve(pipm_->localEntries(h).size());
-        for (const auto &[page, entry] : pipm_->localEntries(h))
-            pages.push_back(page);
-        std::sort(pages.begin(), pages.end());   // deterministic order
+        // FlatMap iteration is probe order; sort for deterministic sweeps.
+        const std::vector<PageFrame> pages =
+            pipm_->localEntries(h).sortedKeys();
         for (const PageFrame page : pages) {
             const LocalRemapEntry entry = pipm_->localEntries(h).at(page);
             if (entry.lineBitmap == 0) {

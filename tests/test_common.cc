@@ -233,6 +233,13 @@ TEST(Config, ValidateRejectsBadValues)
     cfg.numHosts = 0;
     EXPECT_THROW(cfg.validate(), SimError);
     cfg = testConfig();
+    // Host IDs are 5 bits (directory sharer masks): 32 hosts max.
+    cfg.numHosts = 33;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg = testConfig();
+    cfg.numHosts = 32;
+    EXPECT_NO_THROW(cfg.validate());
+    cfg = testConfig();
     cfg.pipm.migrationThreshold = 0;
     EXPECT_THROW(cfg.validate(), SimError);
     cfg = testConfig();
