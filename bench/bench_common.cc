@@ -10,6 +10,8 @@
 #include <sstream>
 #include <thread>
 
+#include "common/hash.hh"
+
 namespace pipmbench
 {
 
@@ -73,21 +75,6 @@ deserialize(const std::string &line, RunResult &r)
     return true;
 }
 
-/** FNV-1a over a string, hex-encoded. */
-std::string
-hashKey(const std::string &s)
-{
-    std::uint64_t h = 1469598103934665603ull;
-    for (unsigned char c : s) {
-        h ^= c;
-        h *= 1099511628211ull;
-    }
-    char buf[17];
-    std::snprintf(buf, sizeof buf, "%016llx",
-                  static_cast<unsigned long long>(h));
-    return buf;
-}
-
 /** Cache key of one experiment (16 hex chars). */
 std::string
 experimentKey(const SystemConfig &cfg, Scheme scheme,
@@ -98,7 +85,7 @@ experimentKey(const SystemConfig &cfg, Scheme scheme,
     key_src << workload.fingerprint() << '|' << toString(scheme) << '|'
             << configKey(cfg) << '|' << opts.measureRefs << '|'
             << opts.warmupRefs << '|' << opts.seed << '|' << extra_key;
-    return hashKey(key_src.str());
+    return fnv1aHex(key_src.str());
 }
 
 /**
@@ -182,6 +169,12 @@ optionsFromEnv()
         opts.cachePath = p;
     opts.jobs = static_cast<unsigned>(
         std::max<std::uint64_t>(1, envU64("PIPM_BENCH_JOBS", 1)));
+    if (const char *p = std::getenv("PIPM_STATS_JSON"))
+        opts.statsJsonPath = p;
+    opts.obsInterval = envU64("PIPM_OBS_INTERVAL", 0);
+    opts.obsTrace = envU64("PIPM_OBS_TRACE", 0);
+    if (const char *p = std::getenv("PIPM_OBS_WATCH"))
+        opts.obsWatch = p;
     return opts;
 }
 
@@ -194,50 +187,24 @@ runConfigOf(const Options &opts)
     run.seed = opts.seed;
     run.footprintSampleEvery = std::max<std::uint64_t>(
         10'000, opts.measureRefs / 4);
+    // The environment was already resolved into opts (once, up front);
+    // runExperiment must not re-read it, or parallel sweep workers would
+    // all inherit the same PIPM_STATS_JSON output path.
+    run.obsFromEnv = false;
+    run.statsJsonPath = opts.statsJsonPath;
+    run.obsIntervalAccesses = opts.obsInterval;
+    run.obsTraceCapacity = opts.obsTrace;
+    run.obsWatchLines = opts.obsWatch;
     return run;
 }
 
 std::string
 configKey(const SystemConfig &cfg)
 {
-    std::ostringstream os;
-    os << cfg.numHosts << ',' << cfg.coresPerHost << ','
-       << cfg.core.mshrs << ',' << cfg.l1Bytes() << ','
-       << cfg.llcBytesPerCore() << ',' << cfg.link.latencyNs << ','
-       << cfg.link.bytesPerNs << ',' << cfg.link.hasSwitch << ','
-       << cfg.deviceDirectory.sets << ',' << cfg.pipm.globalCacheBytes
-       << ',' << cfg.pipm.localCacheBytes << ','
-       << cfg.pipm.infiniteGlobalCache << ','
-       << cfg.pipm.infiniteLocalCache << ','
-       << cfg.pipm.migrationThreshold << ','
-       << cfg.osMigration.intervalMs << ','
-       << cfg.osMigration.maxPagesPerEpoch << ','
-       << cfg.osMigration.hotThreshold << ','
-       << cfg.footprintScale << ',' << cfg.timeScale << ','
-       << cfg.migrationBytesScale << ',' << cfg.l1Scale << ','
-       << cfg.llcScale;
-    if (cfg.fault.enabled) {
-        // Appended only when faults are on so that fault-free keys (and
-        // the entries cached before fault injection existed) are stable.
-        os << ",fault:" << cfg.fault.seed << ',' << cfg.fault.linkErrorRate
-           << ',' << cfg.fault.retrainIntervalNs << ','
-           << cfg.fault.retrainWindowNs << ',' << cfg.fault.poisonRate
-           << ',' << cfg.fault.persistentPoisonFrac << ','
-           << cfg.fault.migrationAbortRate << ','
-           << cfg.fault.backoffWindow << ',' << cfg.fault.backoffThreshold
-           << ',' << cfg.fault.backoffBaseNs << ','
-           << cfg.fault.backoffMaxExp;
-        if (cfg.fault.crashMeanIntervalNs > 0.0) {
-            // Appended only when a crash schedule is on, keeping crash-free
-            // fault keys identical to what they were before host crashes
-            // existed.
-            os << ",crash:" << cfg.fault.crashMeanIntervalNs << ','
-               << cfg.fault.crashRejoinNs << ','
-               << cfg.fault.crashMaxEvents << ','
-               << static_cast<unsigned>(cfg.fault.crashRecovery);
-        }
-    }
-    return os.str();
+    // The fingerprint moved into SystemConfig (the stats.json exporter
+    // hashes it too); the format is byte-identical to what this function
+    // always produced, so existing cache files stay valid.
+    return cfg.measurementKey();
 }
 
 bool
@@ -285,8 +252,12 @@ cachedRun(const SystemConfig &cfg, Scheme scheme, const Workload &workload,
                  workload.name().c_str(),
                  std::string(toString(scheme)).c_str(),
                  extra_key.empty() ? "" : " ", extra_key.c_str());
-    const RunResult r = runExperiment(cfg, scheme, workload,
-                                      runConfigOf(opts));
+    RunConfig run_cfg = runConfigOf(opts);
+    // No stats.json from cached experiments: a cache hit would not
+    // re-run the simulation, so the file would ambiguously reflect
+    // whichever combination happened to miss last.
+    run_cfg.statsJsonPath.clear();
+    const RunResult r = runExperiment(cfg, scheme, workload, run_cfg);
 
     mergeCache(opts.cachePath, {{key, serialize(r)}});
     return r;
@@ -331,7 +302,10 @@ Sweep::run()
     const unsigned jobs = std::max(
         1u, std::min(opts_.jobs,
                      static_cast<unsigned>(todo.size())));
-    const RunConfig run_cfg = runConfigOf(opts_);
+    RunConfig run_cfg = runConfigOf(opts_);
+    // Parallel workers share this one config; a stats.json path here
+    // would have every worker overwrite the same file.
+    run_cfg.statsJsonPath.clear();
     auto worker = [&] {
         for (;;) {
             const std::size_t i = next.fetch_add(1);

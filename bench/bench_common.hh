@@ -30,6 +30,15 @@
  *                      fault schedule (harnesses calling applyEnvFaults);
  *                      "crash" or "2" additionally enables the host
  *                      fail-stop crash/rejoin schedule (DESIGN.md §8)
+ *
+ * The observability knobs (PIPM_STATS_JSON, PIPM_OBS_INTERVAL,
+ * PIPM_OBS_TRACE, PIPM_OBS_WATCH — DESIGN.md §10) are resolved once in
+ * optionsFromEnv() and forwarded through runConfigOf() with
+ * RunConfig::obsFromEnv false, so every harness sees one consistent
+ * resolution. Sweep::run() and cachedRun() clear the export path: cached
+ * experiments may not re-run at all, and parallel sweep workers must not
+ * race on a single output file. Direct runExperiment() callers
+ * (obs_report, perf_throughput) do export.
  */
 
 #ifndef PIPM_BENCH_COMMON_HH
@@ -54,6 +63,13 @@ struct Options
     std::uint64_t seed = 42;
     std::string cachePath = "pipm_bench_cache.tsv";
     unsigned jobs = 1;   ///< Sweep::run worker threads
+
+    // Observability (DESIGN.md §10), resolved from PIPM_STATS_JSON /
+    // PIPM_OBS_INTERVAL / PIPM_OBS_TRACE / PIPM_OBS_WATCH.
+    std::string statsJsonPath;      ///< "" disables the export
+    std::uint64_t obsInterval = 0;  ///< measured accesses per interval
+    std::uint64_t obsTrace = 0;     ///< event-trace ring capacity
+    std::string obsWatch;           ///< comma-separated watched lines
 };
 
 /** Read the PIPM_BENCH_* environment variables. */

@@ -22,6 +22,7 @@ Cycles
 DeviceDirectory::accessLatency(LineAddr line, Cycles now)
 {
     lookups.inc();
+    lastNow_ = now;
     const unsigned slice = static_cast<unsigned>(line % slices_);
     const Cycles start = std::max(now, sliceBusyUntil_[slice]);
     sliceBusyUntil_[slice] = start + serviceCycles_;
@@ -43,10 +44,22 @@ DeviceDirectory::probe(LineAddr line) const
 std::optional<DeviceDirectory::Recall>
 DeviceDirectory::allocate(LineAddr line, DirEntry entry)
 {
+    if (trace_ && trace_->lineWatched(line)) {
+        trace_->record(ObsEventType::dirAllocate, lastNow_, line,
+                       entry.state == DevState::M
+                           ? entry.owner(32)
+                           : invalidHost,
+                       static_cast<std::uint32_t>(entry.state));
+    }
     auto victim = entries_.insert(line, entry);
     if (!victim)
         return std::nullopt;
     recalls.inc();
+    if (trace_ && trace_->lineWatched(victim->key)) {
+        trace_->record(ObsEventType::dirDeallocate, lastNow_, victim->key,
+                       invalidHost,
+                       static_cast<std::uint32_t>(victim->meta.state));
+    }
     return Recall{victim->key, victim->meta};
 }
 
@@ -56,6 +69,11 @@ DeviceDirectory::deallocate(LineAddr line)
     auto e = entries_.invalidate(line);
     if (!e)
         return std::nullopt;
+    if (trace_ && trace_->lineWatched(line)) {
+        trace_->record(ObsEventType::dirDeallocate, lastNow_, line,
+                       invalidHost,
+                       static_cast<std::uint32_t>(e->meta.state));
+    }
     return e->meta;
 }
 

@@ -28,6 +28,7 @@
 #include "common/config.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace pipm
 {
@@ -110,6 +111,15 @@ class DeviceDirectory
     void forEach(
         const std::function<void(LineAddr, const DirEntry &)> &fn) const;
 
+    /**
+     * Attach an event trace (nullptr: detach). Allocations and
+     * deallocations of watched lines are recorded; the timestamp is the
+     * last accessLatency() clock, since allocate/deallocate are called
+     * within the access transaction that already charged the directory
+     * trip.
+     */
+    void attachTrace(ObsTrace *trace) { trace_ = trace; }
+
     StatGroup &stats() { return stats_; }
 
     Counter lookups;
@@ -121,6 +131,8 @@ class DeviceDirectory
     Cycles serviceCycles_;
     std::vector<Cycles> sliceBusyUntil_;
     SetAssoc<DirEntry> entries_;
+    ObsTrace *trace_ = nullptr;
+    Cycles lastNow_ = 0;   ///< clock of the last accessLatency()
     StatGroup stats_;
 };
 

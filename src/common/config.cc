@@ -111,7 +111,53 @@ SystemConfig::validate() const
              "-bit global vote counter");
     fatal_if(osMigration.maxPagesPerEpoch == 0,
              "maxPagesPerEpoch must be positive");
+    fatal_if(osMigration.intervalMs <= 0.0,
+             "osMigration.intervalMs must be positive, got ",
+             osMigration.intervalMs);
     fault.validate();
+}
+
+std::string
+SystemConfig::measurementKey() const
+{
+    std::ostringstream os;
+    os << numHosts << ',' << coresPerHost << ','
+       << core.mshrs << ',' << l1Bytes() << ','
+       << llcBytesPerCore() << ',' << link.latencyNs << ','
+       << link.bytesPerNs << ',' << link.hasSwitch << ','
+       << deviceDirectory.sets << ',' << pipm.globalCacheBytes
+       << ',' << pipm.localCacheBytes << ','
+       << pipm.infiniteGlobalCache << ','
+       << pipm.infiniteLocalCache << ','
+       << pipm.migrationThreshold << ','
+       << osMigration.intervalMs << ','
+       << osMigration.maxPagesPerEpoch << ','
+       << osMigration.hotThreshold << ','
+       << footprintScale << ',' << timeScale << ','
+       << migrationBytesScale << ',' << l1Scale << ','
+       << llcScale;
+    if (fault.enabled) {
+        // Appended only when faults are on so that fault-free keys (and
+        // the entries cached before fault injection existed) are stable.
+        os << ",fault:" << fault.seed << ',' << fault.linkErrorRate
+           << ',' << fault.retrainIntervalNs << ','
+           << fault.retrainWindowNs << ',' << fault.poisonRate
+           << ',' << fault.persistentPoisonFrac << ','
+           << fault.migrationAbortRate << ','
+           << fault.backoffWindow << ',' << fault.backoffThreshold
+           << ',' << fault.backoffBaseNs << ','
+           << fault.backoffMaxExp;
+        if (fault.crashMeanIntervalNs > 0.0) {
+            // Appended only when a crash schedule is on, keeping crash-free
+            // fault keys identical to what they were before host crashes
+            // existed.
+            os << ",crash:" << fault.crashMeanIntervalNs << ','
+               << fault.crashRejoinNs << ','
+               << fault.crashMaxEvents << ','
+               << static_cast<unsigned>(fault.crashRecovery);
+        }
+    }
+    return os.str();
 }
 
 std::string

@@ -320,11 +320,16 @@ struct SystemConfig
         return llcPerCore.sizeBytes * coresPerHost;
     }
 
-    /** OS migration epoch in core cycles after time scaling. */
+    /**
+     * OS migration epoch in core cycles after time scaling. Clamped to
+     * >= 1: a large timeScale can round the scaled interval down to 0,
+     * which would turn the policy timer into an every-cycle busy loop.
+     */
     Cycles
     osEpochCycles() const
     {
-        return nsToCycles(osMigration.intervalMs * 1e6) / timeScale;
+        const Cycles c = nsToCycles(osMigration.intervalMs * 1e6) / timeScale;
+        return c ? c : 1;
     }
 
     /** Scaled initiating-core cost of migrating one page, in cycles. */
@@ -400,6 +405,15 @@ struct SystemConfig
 
     /** Render the configuration as Table 2-style rows. */
     std::string describe() const;
+
+    /**
+     * Canonical one-line key over every measurement-relevant field,
+     * including the fault/crash schedule when enabled. Two configs with
+     * equal keys produce bit-identical runs; the bench cache and the
+     * stats.json exporter both key on (hashes of) this string, so the
+     * format must stay stable.
+     */
+    std::string measurementKey() const;
 };
 
 /** The Table 2 default configuration. */

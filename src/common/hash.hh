@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Small deterministic string hashing helpers shared by the bench cache
+ * keys and the stats.json config hash. FNV-1a is used for its stable,
+ * platform-independent output — these hashes end up in cache files and
+ * exported artifacts, so they must never depend on std::hash.
+ */
+
+#ifndef PIPM_COMMON_HASH_HH
+#define PIPM_COMMON_HASH_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace pipm
+{
+
+/** 64-bit FNV-1a over a byte string. */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** FNV-1a hex-encoded as 16 lowercase hex characters. */
+inline std::string
+fnv1aHex(std::string_view s)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::uint64_t h = fnv1a(s);
+    std::string out(16, '0');
+    for (int i = 15; i >= 0; --i) {
+        out[i] = digits[h & 0xf];
+        h >>= 4;
+    }
+    return out;
+}
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_HASH_HH

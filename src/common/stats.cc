@@ -1,5 +1,7 @@
 #include "common/stats.hh"
 
+#include <iomanip>
+#include <locale>
 #include <sstream>
 
 namespace pipm
@@ -38,6 +40,11 @@ std::string
 StatGroup::dump() const
 {
     std::ostringstream os;
+    // Byte-stable output: the default stream locale can group digits or
+    // swap the decimal separator, and the default precision (6
+    // significant digits) truncates large means. Pin both.
+    os.imbue(std::locale::classic());
+    os << std::fixed << std::setprecision(6);
     for (const auto &e : counters_) {
         os << name_ << '.' << e.name << ' ' << e.stat->value()
            << "  # " << e.desc << '\n';
@@ -47,8 +54,24 @@ StatGroup::dump() const
            << " (n=" << e.stat->count() << ")  # " << e.desc << '\n';
     }
     for (const auto &e : histograms_) {
-        os << name_ << '.' << e.name << " mean=" << e.stat->mean()
-           << " n=" << e.stat->count() << "  # " << e.desc << '\n';
+        const Histogram &h = *e.stat;
+        os << name_ << '.' << e.name << " mean=" << h.mean()
+           << " n=" << h.count() << "  # " << e.desc << '\n';
+        const auto &counts = h.buckets();
+        const std::uint64_t w = h.bucketWidth();
+        for (std::size_t b = 0; b < counts.size(); ++b) {
+            if (!counts[b])
+                continue;
+            os << name_ << '.' << e.name << '[';
+            if (b + 1 == counts.size())
+                os << (w * b) << "+";
+            else
+                os << (w * b) << ',' << (w * (b + 1) - 1);
+            os << "] " << counts[b];
+            if (b + 1 == counts.size())
+                os << "  # overflow";
+            os << '\n';
+        }
     }
     return os.str();
 }

@@ -61,8 +61,15 @@ class Average
 class Histogram
 {
   public:
+    /**
+     * A bucket_width of 0 is clamped to 1: sample() divides by the width,
+     * and a width-0 histogram would otherwise fault on the first sample.
+     * Likewise at least one regular bucket is kept in front of the
+     * overflow bucket.
+     */
     Histogram(std::uint64_t bucket_width = 64, unsigned buckets = 32)
-        : width_(bucket_width), counts_(buckets + 1, 0)
+        : width_(bucket_width ? bucket_width : 1),
+          counts_((buckets ? buckets : 1) + 1, 0)
     {
     }
 
@@ -88,6 +95,7 @@ class Histogram
 
     std::uint64_t count() const { return total_; }
     double mean() const { return total_ ? double(sum_) / double(total_) : 0; }
+    std::uint64_t sum() const { return sum_; }
     std::uint64_t bucketWidth() const { return width_; }
     const std::vector<std::uint64_t> &buckets() const { return counts_; }
 
@@ -118,6 +126,35 @@ class StatGroup
     std::string dump() const;
 
     const std::string &name() const { return name_; }
+
+    /**
+     * Visit every registered stat in registration order. Callbacks take
+     * (name, const Stat &); used by the observability layer to snapshot
+     * groups without the group knowing about the registry.
+     */
+    template <typename Fn>
+    void
+    forEachCounter(Fn &&fn) const
+    {
+        for (const auto &e : counters_)
+            fn(e.name, static_cast<const Counter &>(*e.stat));
+    }
+
+    template <typename Fn>
+    void
+    forEachAverage(Fn &&fn) const
+    {
+        for (const auto &e : averages_)
+            fn(e.name, static_cast<const Average &>(*e.stat));
+    }
+
+    template <typename Fn>
+    void
+    forEachHistogram(Fn &&fn) const
+    {
+        for (const auto &e : histograms_)
+            fn(e.name, static_cast<const Histogram &>(*e.stat));
+    }
 
   private:
     struct CounterEntry { Counter *stat; std::string name, desc; };

@@ -184,6 +184,10 @@ FaultInjector::corruptMessage(Cycles now)
             if (backoffExp_ < cfg_.backoffMaxExp)
                 ++backoffExp_;
             backoffEntries.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::backoffArmed, now, 0,
+                               invalidHost, backoffExp_);
+            }
         } else if (now >= backoffUntil_) {
             // A healthy window after the backoff drained: full reset.
             backoffExp_ = 0;
@@ -207,6 +211,10 @@ FaultInjector::retrainDelay(HostId h, Cycles now)
     if (epoch != lastRetrainEpoch_[h]) {
         lastRetrainEpoch_[h] = epoch;
         retrainEvents.inc();
+        if (trace_) {
+            trace_->record(ObsEventType::retrainWindow, now, 0, h,
+                           static_cast<std::uint32_t>(retrainWindow_ - into));
+        }
     }
     const Cycles delay = retrainWindow_ - into;
     retrainStallCycles.inc(delay);

@@ -51,6 +51,7 @@
 #include "common/rng.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "obs/trace.hh"
 
 namespace pipm
 {
@@ -153,6 +154,15 @@ class FaultInjector
         return now < backoffUntil_;
     }
 
+    // ---- Observability ---------------------------------------------------
+
+    /**
+     * Attach an event trace (nullptr: detach). The injector records
+     * retraining-window entries and backoff re-arms; poison discoveries
+     * are recorded by the system layer, which knows the accessing host.
+     */
+    void attachTrace(ObsTrace *trace) { trace_ = trace; }
+
     // ---- Stats ----------------------------------------------------------
 
     StatGroup &stats() { return stats_; }
@@ -201,6 +211,8 @@ class FaultInjector
 
     std::vector<CrashEvent> crashSchedule_;   ///< sorted by time
     std::size_t crashCursor_ = 0;
+
+    ObsTrace *trace_ = nullptr;
 
     StatGroup stats_;
 };

@@ -9,8 +9,12 @@ HarmfulTracker::HarmfulTracker(Cycles est_local, Cycles est_cxl,
                                Cycles est_gim, Cycles migration_cost)
     : benefitPerHit_(est_cxl > est_local ? est_cxl - est_local : 0),
       harmPerRemote_(est_gim > est_cxl ? est_gim - est_cxl : 0),
-      migrationCost_(migration_cost)
+      migrationCost_(migration_cost),
+      stats_("harmful")
 {
+    stats_.addCounter(&total, "total", "page migrations classified");
+    stats_.addCounter(&harmful, "harmful",
+                      "migrations that increased execution time");
 }
 
 void

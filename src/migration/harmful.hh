@@ -71,6 +71,14 @@ class HarmfulTracker
     Counter total;
     Counter harmful;
 
+    /**
+     * Stat group "harmful" over the two counters. NOT reset at the
+     * warmup boundary: RunResult reads lifetime totals, so the system's
+     * resetStats() deliberately leaves this group alone (the telemetry
+     * registry snapshots a baseline instead).
+     */
+    StatGroup &stats() { return stats_; }
+
   private:
     struct Record
     {
@@ -84,6 +92,7 @@ class HarmfulTracker
     Cycles harmPerRemote_;   ///< est_gim - est_cxl
     Cycles migrationCost_;
     FlatMap<std::uint64_t, Record> live_;
+    StatGroup stats_;
 };
 
 } // namespace pipm

@@ -1,0 +1,355 @@
+#include "obs/json.hh"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace pipm
+{
+
+std::string
+jsonNumber(double v)
+{
+    // std::to_chars produces the shortest string that round-trips and is
+    // locale-independent; exactly what a byte-deterministic export needs.
+    char buf[64];
+    const auto res = std::to_chars(buf, buf + sizeof buf, v);
+    return std::string(buf, res.ptr);
+}
+
+std::string
+jsonQuote(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (c < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += static_cast<char>(c);
+            }
+        }
+    }
+    out += '"';
+    return out;
+}
+
+const JsonValue *
+JsonValue::find(const std::string &key) const
+{
+    if (kind != Kind::object)
+        return nullptr;
+    for (const auto &[k, v] : obj)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+std::uint64_t
+JsonValue::asU64() const
+{
+    if (kind != Kind::number)
+        return 0;
+    std::uint64_t v = 0;
+    const auto res =
+        std::from_chars(raw.data(), raw.data() + raw.size(), v);
+    if (res.ec != std::errc())
+        return static_cast<std::uint64_t>(num);
+    return v;
+}
+
+namespace
+{
+
+/** Recursive-descent JSON parser over a string. */
+class Parser
+{
+  public:
+    Parser(const std::string &text, std::string *error)
+        : s_(text), error_(error)
+    {
+    }
+
+    std::unique_ptr<JsonValue>
+    parse()
+    {
+        auto v = std::make_unique<JsonValue>();
+        if (!value(*v))
+            return nullptr;
+        skipWs();
+        if (pos_ != s_.size()) {
+            fail("trailing characters after document");
+            return nullptr;
+        }
+        return v;
+    }
+
+  private:
+    void
+    fail(const char *msg)
+    {
+        if (error_ && error_->empty()) {
+            char buf[128];
+            std::snprintf(buf, sizeof buf, "json: %s at offset %zu", msg,
+                          pos_);
+            *error_ = buf;
+        }
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' || s_[pos_] == '\t' ||
+                s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    bool
+    literal(const char *word)
+    {
+        const std::size_t n = std::strlen(word);
+        if (s_.compare(pos_, n, word) != 0) {
+            fail("bad literal");
+            return false;
+        }
+        pos_ += n;
+        return true;
+    }
+
+    bool
+    string(std::string &out)
+    {
+        if (pos_ >= s_.size() || s_[pos_] != '"') {
+            fail("expected string");
+            return false;
+        }
+        ++pos_;
+        out.clear();
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            char c = s_[pos_++];
+            if (c != '\\') {
+                out += c;
+                continue;
+            }
+            if (pos_ >= s_.size()) {
+                fail("truncated escape");
+                return false;
+            }
+            char e = s_[pos_++];
+            switch (e) {
+              case '"': out += '"'; break;
+              case '\\': out += '\\'; break;
+              case '/': out += '/'; break;
+              case 'n': out += '\n'; break;
+              case 't': out += '\t'; break;
+              case 'r': out += '\r'; break;
+              case 'b': out += '\b'; break;
+              case 'f': out += '\f'; break;
+              case 'u': {
+                if (pos_ + 4 > s_.size()) {
+                    fail("truncated \\u escape");
+                    return false;
+                }
+                unsigned code = 0;
+                for (int i = 0; i < 4; ++i) {
+                    char h = s_[pos_++];
+                    code <<= 4;
+                    if (h >= '0' && h <= '9')
+                        code |= static_cast<unsigned>(h - '0');
+                    else if (h >= 'a' && h <= 'f')
+                        code |= static_cast<unsigned>(h - 'a' + 10);
+                    else if (h >= 'A' && h <= 'F')
+                        code |= static_cast<unsigned>(h - 'A' + 10);
+                    else {
+                        fail("bad \\u escape");
+                        return false;
+                    }
+                }
+                // The exporter only emits \u00xx control escapes; decode
+                // the Latin-1 range and refuse the rest rather than
+                // mis-decoding surrogate pairs.
+                if (code > 0xff) {
+                    fail("unsupported \\u escape above 0xff");
+                    return false;
+                }
+                out += static_cast<char>(code);
+                break;
+              }
+              default:
+                fail("bad escape character");
+                return false;
+            }
+        }
+        if (pos_ >= s_.size()) {
+            fail("unterminated string");
+            return false;
+        }
+        ++pos_;   // closing quote
+        return true;
+    }
+
+    bool
+    value(JsonValue &out)
+    {
+        skipWs();
+        if (pos_ >= s_.size()) {
+            fail("unexpected end of input");
+            return false;
+        }
+        const char c = s_[pos_];
+        if (c == '{')
+            return object(out);
+        if (c == '[')
+            return array(out);
+        if (c == '"') {
+            out.kind = JsonValue::Kind::string;
+            return string(out.raw);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::boolean;
+            out.boolVal = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::boolean;
+            out.boolVal = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::null;
+            return literal("null");
+        }
+        return number(out);
+    }
+
+    bool
+    number(JsonValue &out)
+    {
+        const std::size_t start = pos_;
+        if (pos_ < s_.size() && (s_[pos_] == '-' || s_[pos_] == '+'))
+            ++pos_;
+        bool digits = false;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+                s_[pos_] == '-' || s_[pos_] == '+')) {
+            digits = digits ||
+                     std::isdigit(static_cast<unsigned char>(s_[pos_]));
+            ++pos_;
+        }
+        if (!digits) {
+            fail("expected number");
+            return false;
+        }
+        out.kind = JsonValue::Kind::number;
+        out.raw = s_.substr(start, pos_ - start);
+        out.num = std::strtod(out.raw.c_str(), nullptr);
+        return true;
+    }
+
+    bool
+    array(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::array;
+        ++pos_;   // '['
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            JsonValue elem;
+            if (!value(elem))
+                return false;
+            out.arr.push_back(std::move(elem));
+            skipWs();
+            if (pos_ >= s_.size()) {
+                fail("unterminated array");
+                return false;
+            }
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == ']') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or ']'");
+            return false;
+        }
+    }
+
+    bool
+    object(JsonValue &out)
+    {
+        out.kind = JsonValue::Kind::object;
+        ++pos_;   // '{'
+        skipWs();
+        if (pos_ < s_.size() && s_[pos_] == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            std::string key;
+            if (!string(key))
+                return false;
+            skipWs();
+            if (pos_ >= s_.size() || s_[pos_] != ':') {
+                fail("expected ':'");
+                return false;
+            }
+            ++pos_;
+            JsonValue member;
+            if (!value(member))
+                return false;
+            out.obj.emplace_back(std::move(key), std::move(member));
+            skipWs();
+            if (pos_ >= s_.size()) {
+                fail("unterminated object");
+                return false;
+            }
+            if (s_[pos_] == ',') {
+                ++pos_;
+                continue;
+            }
+            if (s_[pos_] == '}') {
+                ++pos_;
+                return true;
+            }
+            fail("expected ',' or '}'");
+            return false;
+        }
+    }
+
+    const std::string &s_;
+    std::string *error_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<JsonValue>
+parseJson(const std::string &text, std::string *error)
+{
+    if (error)
+        error->clear();
+    Parser p(text, error);
+    return p.parse();
+}
+
+} // namespace pipm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Minimal JSON support for the observability layer: a deterministic
+ * writer (locale-free number formatting via std::to_chars, fixed field
+ * order decided by the caller) and a small recursive-descent parser used
+ * by the schema validator, the obs_report harness and the tests.
+ *
+ * This is not a general-purpose JSON library: objects preserve insertion
+ * order (the exporter's determinism contract), numbers keep their raw
+ * source text so integer counters survive a round trip exactly, and the
+ * parser rejects anything it does not understand instead of guessing.
+ */
+
+#ifndef PIPM_OBS_JSON_HH
+#define PIPM_OBS_JSON_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace pipm
+{
+
+/** Render a double deterministically (shortest round-trip, no locale). */
+std::string jsonNumber(double v);
+
+/** Escape and quote a string for JSON output. */
+std::string jsonQuote(const std::string &s);
+
+/** A parsed JSON value. Objects keep their key order. */
+struct JsonValue
+{
+    enum class Kind { null, boolean, number, string, array, object };
+
+    Kind kind = Kind::null;
+    bool boolVal = false;
+    double num = 0.0;
+    std::string raw;    ///< number: original source text; string: value
+    std::vector<JsonValue> arr;
+    std::vector<std::pair<std::string, JsonValue>> obj;
+
+    bool isNull() const { return kind == Kind::null; }
+    bool isNumber() const { return kind == Kind::number; }
+    bool isString() const { return kind == Kind::string; }
+    bool isArray() const { return kind == Kind::array; }
+    bool isObject() const { return kind == Kind::object; }
+
+    /** Object member lookup; nullptr when absent or not an object. */
+    const JsonValue *find(const std::string &key) const;
+
+    /** Number as u64, parsed from the raw text (exact for counters). */
+    std::uint64_t asU64() const;
+};
+
+/**
+ * Parse a complete JSON document.
+ * @param error set to a one-line diagnostic on failure
+ * @return parsed value, or nullptr on failure
+ */
+std::unique_ptr<JsonValue> parseJson(const std::string &text,
+                                     std::string *error = nullptr);
+
+} // namespace pipm
+
+#endif // PIPM_OBS_JSON_HH

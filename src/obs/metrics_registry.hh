@@ -1,0 +1,106 @@
+/**
+ * @file
+ * MetricsRegistry: per-interval snapshots of every registered StatGroup
+ * (DESIGN.md §10).
+ *
+ * The runner registers each component's StatGroup once (addGroup), calls
+ * begin() at the measurement boundary — immediately after resetStats(),
+ * so the baseline snapshot is all zeros — and closeInterval() every N
+ * measured accesses plus once at the end of the run. Each interval
+ * records the *delta* of every counter and the per-interval mean of
+ * every average since the previous snapshot, so summing a counter column
+ * across intervals reproduces the end-of-run total exactly; this is the
+ * invariant the stats.json validator enforces against RunResult.
+ *
+ * Snapshot cost is a linear walk of all registered stats (a few hundred
+ * loads), paid once per interval, never per access. When no stats export
+ * is requested the runner simply never constructs a registry.
+ */
+
+#ifndef PIPM_OBS_METRICS_REGISTRY_HH
+#define PIPM_OBS_METRICS_REGISTRY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Flattened "group.stat" name lists, shared by every interval. */
+struct MetricsSchema
+{
+    std::vector<std::string> counters;
+    std::vector<std::string> averages;
+};
+
+/** One closed interval: [startAccess, endAccess) measured accesses. */
+struct IntervalSample
+{
+    std::uint64_t startAccess = 0;
+    std::uint64_t endAccess = 0;
+    Cycles endCycle = 0;
+    /** Counter deltas, parallel to MetricsSchema::counters. */
+    std::vector<std::uint64_t> counterDeltas;
+    /** In-interval means (delta sum / delta count; 0 when no samples),
+     *  parallel to MetricsSchema::averages. */
+    std::vector<double> averageMeans;
+};
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * Register a group. All groups must be added before begin().
+     * @param prefix disambiguates per-host groups whose StatGroup names
+     *        repeat ("cache", "link", ...): flattened stat names become
+     *        "<prefix><group>.<stat>", e.g. "host0.link.crc_errors".
+     */
+    void addGroup(const StatGroup &group, const std::string &prefix = "");
+
+    /** Snapshot the zero baseline; call right after resetStats(). */
+    void begin();
+
+    /**
+     * Close the interval ending at `end_access` measured accesses.
+     * Zero-length intervals (same end_access as the previous close) are
+     * ignored so the final flush never emits an empty duplicate.
+     */
+    void closeInterval(std::uint64_t end_access, Cycles end_cycle);
+
+    const MetricsSchema &schema() const { return schema_; }
+    const std::vector<IntervalSample> &intervals() const
+    {
+        return intervals_;
+    }
+
+    /**
+     * Sum of one counter column across all intervals (== its end-of-run
+     * value by construction). Returns 0 for unknown names.
+     */
+    std::uint64_t counterTotal(const std::string &name) const;
+
+  private:
+    struct CounterRef { const Counter *stat; };
+    struct AverageRef { const Average *stat; };
+
+    MetricsSchema schema_;
+    std::vector<CounterRef> counters_;
+    std::vector<AverageRef> averages_;
+
+    // Previous snapshot, parallel to the refs above.
+    std::vector<std::uint64_t> lastCounters_;
+    std::vector<double> lastAvgSums_;
+    std::vector<std::uint64_t> lastAvgCounts_;
+
+    std::uint64_t lastAccess_ = 0;
+    bool begun_ = false;
+    std::vector<IntervalSample> intervals_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_OBS_METRICS_REGISTRY_HH

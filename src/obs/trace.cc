@@ -1,0 +1,30 @@
+#include "obs/trace.hh"
+
+namespace pipm
+{
+
+std::string_view
+toString(ObsEventType t)
+{
+    switch (t) {
+      case ObsEventType::promotion: return "promotion";
+      case ObsEventType::promotionSuppressed: return "promotion_suppressed";
+      case ObsEventType::promotionAbort: return "promotion_abort";
+      case ObsEventType::revocation: return "revocation";
+      case ObsEventType::lineAbort: return "line_abort";
+      case ObsEventType::osMigration: return "os_migration";
+      case ObsEventType::osDemotion: return "os_demotion";
+      case ObsEventType::dirAllocate: return "dir_allocate";
+      case ObsEventType::dirDeallocate: return "dir_deallocate";
+      case ObsEventType::dirTransition: return "dir_transition";
+      case ObsEventType::retrainWindow: return "retrain_window";
+      case ObsEventType::poisonTransient: return "poison_transient";
+      case ObsEventType::poisonPersistent: return "poison_persistent";
+      case ObsEventType::backoffArmed: return "backoff_armed";
+      case ObsEventType::hostCrash: return "host_crash";
+      case ObsEventType::hostRejoin: return "host_rejoin";
+    }
+    return "unknown";
+}
+
+} // namespace pipm

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * ObsTrace: a fixed-capacity ring-buffer event trace for the
+ * observability layer (DESIGN.md §10).
+ *
+ * Producers (system, device directory, fault injector) hold a raw
+ * `ObsTrace *` that is nullptr when tracing is off, so the hot-path cost
+ * of a disabled trace is one pointer test that the branch predictor
+ * learns immediately. Compiling with -DPIPM_OBS_NO_TRACE removes even
+ * that: record() becomes an empty inline and the producers' null checks
+ * fold away.
+ *
+ * When the ring wraps, the oldest events are overwritten and a dropped
+ * counter keeps the total honest; snapshot() returns the surviving
+ * events oldest-first. Directory state transitions are traced only for
+ * explicitly watched lines (watchLine) — tracing every line of every
+ * access would be its own bandwidth problem.
+ */
+
+#ifndef PIPM_OBS_TRACE_HH
+#define PIPM_OBS_TRACE_HH
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_map.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** What happened. Values are stable: they appear in stats.json. */
+enum class ObsEventType : std::uint8_t
+{
+    promotion,            ///< vote promoted a page to `host` (addr = page)
+    promotionSuppressed,  ///< vote won but backoff deferred it (host = voter)
+    promotionAbort,       ///< fault aborted a promotion (host = would-be owner)
+    revocation,           ///< page revoked from `host` (aux = lines back)
+    lineAbort,            ///< case-1 line migration aborted (aux = line index)
+    osMigration,          ///< OS promoted page to `host` (aux = new frame)
+    osDemotion,           ///< OS demoted page from `host` (aux = new frame)
+    dirAllocate,          ///< watched line: entry allocated (aux = state)
+    dirDeallocate,        ///< watched line: entry dropped (aux = old state)
+    dirTransition,        ///< watched line: state change (aux = old<<8 | new)
+    retrainWindow,        ///< host's link retrain opened (aux = stall cycles)
+    poisonTransient,      ///< transient poison hit by `host` (addr = line)
+    poisonPersistent,     ///< persistent poison found by `host` (addr = line)
+    backoffArmed,         ///< link-error backoff armed (aux = new exponent)
+    hostCrash,            ///< fail-stop crash of `host` (aux = old epoch)
+    hostRejoin,           ///< cold rejoin of `host` (aux = old epoch)
+};
+
+/** Stable lowercase name used in stats.json and reports. */
+std::string_view toString(ObsEventType t);
+
+/** One trace record. 24 bytes; the ring is a flat vector of these. */
+struct ObsEvent
+{
+    Cycles cycle = 0;        ///< device clock when recorded
+    PhysAddr addr = 0;       ///< page or line address (0 if n/a)
+    std::uint32_t aux = 0;   ///< event-specific payload (see ObsEventType)
+    ObsEventType type = ObsEventType::promotion;
+    HostId host = 0;         ///< initiating host (0xff when none)
+};
+
+class ObsTrace
+{
+  public:
+    explicit ObsTrace(std::size_t capacity)
+        : capacity_(capacity ? capacity : 1)
+    {
+        ring_.reserve(capacity_);
+    }
+
+#ifdef PIPM_OBS_NO_TRACE
+    void
+    record(ObsEventType, Cycles, PhysAddr, HostId, std::uint32_t = 0)
+    {
+    }
+#else
+    void
+    record(ObsEventType type, Cycles cycle, PhysAddr addr, HostId host,
+           std::uint32_t aux = 0)
+    {
+        if (ring_.size() < capacity_) {
+            ring_.push_back(ObsEvent{cycle, addr, aux, type, host});
+        } else {
+            if (head_ == capacity_)
+                head_ = 0;
+            ring_[head_++] = ObsEvent{cycle, addr, aux, type, host};
+            ++dropped_;
+        }
+        ++recorded_;
+    }
+#endif
+
+    /** Watch a line (and implicitly its page) for directory tracing. */
+    void watchLine(PhysAddr line) { watched_.insert(line); }
+
+    bool
+    lineWatched(PhysAddr line) const
+    {
+        return !watched_.empty() && watched_.contains(line);
+    }
+
+    /** Events still in the ring, oldest first. */
+    std::vector<ObsEvent>
+    snapshot() const
+    {
+        std::vector<ObsEvent> out;
+        out.reserve(ring_.size());
+        // Once full, head_ points at the oldest surviving event.
+        const std::size_t start = ring_.size() < capacity_
+                                      ? 0
+                                      : (head_ == capacity_ ? 0 : head_);
+        for (std::size_t i = 0; i < ring_.size(); ++i)
+            out.push_back(ring_[(start + i) % ring_.size()]);
+        return out;
+    }
+
+    std::size_t capacity() const { return capacity_; }
+    std::uint64_t recorded() const { return recorded_; }
+    std::uint64_t dropped() const { return dropped_; }
+
+    void
+    reset()
+    {
+        ring_.clear();
+        head_ = 0;
+        recorded_ = 0;
+        dropped_ = 0;
+    }
+
+  private:
+    std::size_t capacity_;
+    std::vector<ObsEvent> ring_;
+    std::size_t head_ = 0;           ///< next overwrite slot once full
+    std::uint64_t recorded_ = 0;     ///< total record() calls
+    std::uint64_t dropped_ = 0;      ///< records that overwrote an event
+    FlatSet<PhysAddr> watched_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_OBS_TRACE_HH

@@ -1,15 +1,46 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
 #include <memory>
 #include <vector>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/stats_json.hh"
+#include "obs/trace.hh"
 #include "sim/core.hh"
 #include "sim/system.hh"
 
 namespace pipm
 {
+
+namespace
+{
+
+/** Numeric env override following the PIPM_CHECK_INVARIANTS pattern. */
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        if (*env != '\0')
+            return std::strtoull(env, nullptr, 10);
+    }
+    return fallback;
+}
+
+std::string
+envStr(const char *name, std::string fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        if (*env != '\0')
+            return env;
+    }
+    return fallback;
+}
+
+} // namespace
 
 RunResult
 runExperiment(const SystemConfig &cfg, Scheme scheme,
@@ -20,6 +51,19 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     // at the experiment boundary every harness goes through.
     cfg.validate();
     MultiHostSystem system(cfg, scheme, workload, run.seed);
+
+    // ---- Observability knobs (DESIGN.md §10) ---------------------------
+    std::string stats_path = run.statsJsonPath;
+    std::uint64_t obs_interval = run.obsIntervalAccesses;
+    std::uint64_t trace_capacity = run.obsTraceCapacity;
+    std::string watch_lines = run.obsWatchLines;
+    if (run.obsFromEnv) {
+        stats_path = envStr("PIPM_STATS_JSON", stats_path);
+        obs_interval = envU64("PIPM_OBS_INTERVAL", obs_interval);
+        trace_capacity = envU64("PIPM_OBS_TRACE", trace_capacity);
+        watch_lines = envStr("PIPM_OBS_WATCH", watch_lines);
+    }
+    const bool obs_on = !stats_path.empty();
 
     struct CoreSlot
     {
@@ -69,6 +113,37 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             check_every = std::strtoull(env, nullptr, 10);
     }
     std::uint64_t accesses_since_check = 0;
+
+    // Telemetry: snapshot every registered stat group at interval
+    // boundaries. When export is off no registry exists and the measured
+    // loop pays nothing beyond one boolean test.
+    MetricsRegistry registry;
+    std::unique_ptr<ObsTrace> trace;
+    if (obs_on) {
+        system.registerStats(registry);
+        if (trace_capacity > 0) {
+            trace = std::make_unique<ObsTrace>(trace_capacity);
+            // PIPM_OBS_WATCH: comma-separated line addresses whose
+            // directory transitions get traced.
+            const char *p = watch_lines.c_str();
+            while (*p) {
+                char *end = nullptr;
+                const PhysAddr line = std::strtoull(p, &end, 0);
+                if (end == p)
+                    break;
+                trace->watchLine(line);
+                p = *end == ',' ? end + 1 : end;
+            }
+            system.attachTrace(trace.get());
+        }
+        if (obs_interval == 0) {
+            // Default: eight intervals over the nominal measurement.
+            obs_interval = std::max<std::uint64_t>(
+                1, run.measureRefsPerCore * cores.size() / 8);
+        }
+    }
+    std::uint64_t obs_accesses = 0;     ///< measured accesses so far
+    std::uint64_t obs_since_close = 0;
 
     auto sample_footprint = [&]() {
         double page_sum = 0.0;
@@ -134,6 +209,11 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             if (all_warm) {
                 measuring = true;
                 system.resetStats();
+                if (obs_on) {
+                    // Baseline right after the reset: interval deltas sum
+                    // to the end-of-run totals by construction.
+                    registry.begin();
+                }
                 for (auto &slot : cores) {
                     slot.measureStart = slot.model.now();
                     slot.measureStartInstr = slot.model.instructions();
@@ -164,6 +244,14 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             ++done_count;
         }
 
+        if (measuring && obs_on) {
+            ++obs_accesses;
+            if (++obs_since_close >= obs_interval) {
+                obs_since_close = 0;
+                registry.closeInterval(obs_accesses, next->model.now());
+            }
+        }
+
         if (measuring && ++accesses_since_sample >=
                              run.footprintSampleEvery) {
             accesses_since_sample = 0;
@@ -178,6 +266,16 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         sample_footprint();
     if (system.harmfulTracker())
         system.harmfulTracker()->finish();
+
+    if (obs_on) {
+        // Final flush after the harmful tracker's classification so the
+        // last interval carries those counters too. Zero-length flushes
+        // (boundary exactly hit) are ignored by the registry.
+        Cycles end_cycle = 0;
+        for (const auto &slot : cores)
+            end_cycle = std::max(end_cycle, slot.model.now());
+        registry.closeInterval(obs_accesses, end_cycle);
+    }
 
     RunResult out;
     out.workload = workload.name();
@@ -236,6 +334,19 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     }
     out.pageFootprintFrac = samples ? page_frac_sum / samples : 0.0;
     out.lineFootprintFrac = samples ? line_frac_sum / samples : 0.0;
+
+    if (obs_on) {
+        StatsJsonMeta meta;
+        meta.workload = workload.name();
+        meta.scheme = std::string(toString(scheme));
+        meta.seed = run.seed;
+        meta.warmupRefsPerCore = run.warmupRefsPerCore;
+        meta.measureRefsPerCore = run.measureRefsPerCore;
+        meta.intervalAccesses = obs_interval;
+        meta.configHash = fnv1aHex(cfg.measurementKey());
+        writeStatsJson(stats_path,
+                       renderStatsJson(meta, out, registry, trace.get()));
+    }
     return out;
 }
 

@@ -38,6 +38,26 @@ struct RunConfig
      * check regardless of this knob.
      */
     std::uint64_t checkInvariantsEvery = 0;
+
+    // ---- Observability (DESIGN.md §10) ----------------------------------
+
+    /** Write the per-interval telemetry export here ("" disables it). */
+    std::string statsJsonPath;
+    /** Measured accesses per telemetry interval (0: total/8, min 1). */
+    std::uint64_t obsIntervalAccesses = 0;
+    /** Event-trace ring capacity in events (0: tracing off). */
+    std::uint64_t obsTraceCapacity = 0;
+    /** Comma-separated line addresses to watch for directory tracing. */
+    std::string obsWatchLines;
+    /**
+     * When true, the PIPM_STATS_JSON / PIPM_OBS_INTERVAL /
+     * PIPM_OBS_TRACE / PIPM_OBS_WATCH environment variables override the
+     * fields above (same pattern as PIPM_CHECK_INVARIANTS). Harnesses
+     * that run many experiments concurrently resolve the environment
+     * once themselves and set this false, so parallel workers never race
+     * on one output path.
+     */
+    bool obsFromEnv = true;
 };
 
 /** Everything a figure harness needs from one run. */

@@ -1,6 +1,7 @@
 #include "sim/system.hh"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <unordered_map>
 #include <unordered_set>
@@ -519,6 +520,7 @@ MultiHostSystem::upgrade(HostId h, LineAddr line, Cycles now)
         inv_max = std::max(inv_max, rt);
     }
     lat += inv_max;
+    noteDirState(line, entry->state, DevState::M, h, now);
     entry->state = DevState::M;
     entry->sharers = 1u << h;
     entry->ownerEpoch = epochOf(h);
@@ -649,6 +651,10 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         const VoteOutcome vote = pipm_->deviceAccess(page, h, allow);
         if (vote.suppressed && faults_)
             faults_->migrationsDeferred.inc();
+        if (vote.suppressed && trace_) {
+            trace_->record(ObsEventType::promotionSuppressed, now, page,
+                           h);
+        }
         if (vote.promoted) {
             if (faults_ && faults_->abortPromotion()) {
                 // The promotion setup (frame allocation + table install)
@@ -661,8 +667,17 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
                     LinkDir::toHost, CxlFlits::header, now);
                 hosts_[vote.promotedTo].link->transfer(
                     LinkDir::toDevice, CxlFlits::header, now);
-            } else if (hosts_[vote.promotedTo].localRemap) {
-                hosts_[vote.promotedTo].localRemap->invalidate(page);
+                if (trace_) {
+                    trace_->record(ObsEventType::promotionAbort, now,
+                                   page, vote.promotedTo);
+                }
+            } else {
+                if (hosts_[vote.promotedTo].localRemap)
+                    hosts_[vote.promotedTo].localRemap->invalidate(page);
+                if (trace_) {
+                    trace_->record(ObsEventType::promotion, now, page,
+                                   vote.promotedTo);
+                }
             }
         }
     }
@@ -699,6 +714,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         const std::uint64_t data = ohier.dataOf(line);
         if (is_write) {
             ohier.invalidateLine(line);
+            noteDirState(line, DevState::M, DevState::M, h, now);
             entry->state = DevState::M;
             entry->sharers = 1u << h;
             entry->ownerEpoch = epochOf(h);
@@ -721,6 +737,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
                 mem_.write(line, data);
                 cxlDram_.access(pa - cfg_.cxlBase(), now, true);
             }
+            noteDirState(line, DevState::M, DevState::S, h, now);
             entry->state = DevState::S;
             entry->sharers |= 1u << h;
         }
@@ -815,6 +832,7 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         } else {
             data = mem_.read(line);
         }
+        noteDirState(line, DevState::S, DevState::M, h, now);
         entry->state = DevState::M;
         entry->sharers = 1u << h;
         entry->ownerEpoch = epochOf(h);
@@ -980,11 +998,21 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         // retry; persistent poison demotes the line to an uncacheable
         // degraded path forever (it never fills a cache and never gets a
         // directory entry, so this path is re-taken on every access).
+        const bool known_poisoned =
+            trace_ && faults_->linePersistentlyPoisoned(line);
         switch (faults_->poisonCheck(line)) {
           case PoisonState::transientPoison:
+            if (trace_) {
+                trace_->record(ObsEventType::poisonTransient, now, line,
+                               h);
+            }
             lat += cxlDram_.access(pa - cfg_.cxlBase(), now + lat, false);
             break;
           case PoisonState::persistentPoison:
+            if (trace_ && !known_poisoned) {
+                trace_->record(ObsEventType::poisonPersistent, now, line,
+                               h);
+            }
             lat += degradedLineAccess(h, line, pa, op, now, wdata, rdata);
             cxlServedMisses.inc();
             avgSharedMissLatency.sample(static_cast<double>(lat));
@@ -1090,7 +1118,11 @@ MultiHostSystem::performRevocation(HostId owner, PageFrame page, Cycles now)
                                      now);
         cxlDram_.access(lineBase(line) - cfg_.cxlBase(), now, true);
     }
-    pipm_->revoke(owner, page);
+    const std::uint64_t back = pipm_->revoke(owner, page);
+    if (trace_) {
+        trace_->record(ObsEventType::revocation, now, page, owner,
+                       static_cast<std::uint32_t>(std::popcount(back)));
+    }
     if (hosts_[owner].localRemap)
         hosts_[owner].localRemap->invalidate(page);
     if (globalRemap_)
@@ -1175,24 +1207,38 @@ MultiHostSystem::handleEviction(HostId h,
 
         if (pipm_ && ev.state == HostState::M &&
             pipm_->migratedHostOf(page) == h &&
-            !pipm_->lineMigrated(h, page, li) &&
-            !(faults_ && faults_->abortLineMigration())) {
-            // Case 1: incremental migration on local writeback. The data
-            // is written to the page's local frame instead of CXL memory;
-            // both in-memory bits flip and the device directory entry is
-            // released.
-            pipm_->setLineMigrated(h, page, li);
-            const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
-            mem_.write(lineOf(lpa), ev.data);
-            hosts_[h].dram->access(lpa - cfg_.localBase(h), now, true);
-            // The directory-release message doubles as the bit-flip
-            // notification; the CXL-side in-memory bit lives in ECC spare
-            // bits and is folded into the device's metadata handling
-            // (§4.3.1 footnote) — no data transfer, per §4.1.
-            hosts_[h].link->transfer(LinkDir::toDevice, CxlFlits::header,
-                                     now);
-            deviceDir_.deallocate(ev.line);
-            return;
+            !pipm_->lineMigrated(h, page, li)) {
+            // The abort draw happens exactly when the old short-circuit
+            // drew it (after the three eligibility checks), so adding the
+            // trace hook does not shift the fault RNG stream.
+            if (faults_ && faults_->abortLineMigration()) {
+                if (trace_) {
+                    trace_->record(ObsEventType::lineAbort, now, ev.line,
+                                   h, li);
+                }
+                // Fall through to the normal eviction path: the safe
+                // completion of an aborted case-1 migration is the
+                // ordinary writeback to CXL memory.
+            } else {
+                // Case 1: incremental migration on local writeback. The
+                // data is written to the page's local frame instead of
+                // CXL memory; both in-memory bits flip and the device
+                // directory entry is released.
+                pipm_->setLineMigrated(h, page, li);
+                const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
+                mem_.write(lineOf(lpa), ev.data);
+                hosts_[h].dram->access(lpa - cfg_.localBase(h), now,
+                                       true);
+                // The directory-release message doubles as the bit-flip
+                // notification; the CXL-side in-memory bit lives in ECC
+                // spare bits and is folded into the device's metadata
+                // handling (§4.3.1 footnote) — no data transfer, per
+                // §4.1.
+                hosts_[h].link->transfer(LinkDir::toDevice,
+                                         CxlFlits::header, now);
+                deviceDir_.deallocate(ev.line);
+                return;
+            }
         }
 
         // Normal eviction: dirty data (M) goes back to CXL memory; clean
@@ -1249,6 +1295,8 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
     panic_if(!hostAlive_[h], "crashHost: host ", int(h), " already dead");
 
     faults_->hostCrashes.inc();
+    if (trace_)
+        trace_->record(ObsEventType::hostCrash, now, 0, h, hostEpoch_[h]);
     hostAlive_[h] = 0;
     ++hostEpoch_[h];
     hostDownUntil_[h] = down_until;
@@ -1463,6 +1511,8 @@ MultiHostSystem::rejoinHost(HostId h, Cycles now)
     (void)now;
 
     faults_->hostRejoins.inc();
+    if (trace_)
+        trace_->record(ObsEventType::hostRejoin, now, 0, h, hostEpoch_[h]);
     hostAlive_[h] = 1;
     ++hostEpoch_[h];
     hostDownUntil_[h] = 0;
@@ -1521,6 +1571,10 @@ MultiHostSystem::executePromotion(std::uint64_t idx, HostId target,
         pageBase(new_frame) - cfg_.localBase(target), now, true);
     migrationTransferBytes.inc(pageBytes);
     osMigrations.inc();
+    if (trace_) {
+        trace_->record(ObsEventType::osMigration, now, idx, target,
+                       static_cast<std::uint32_t>(new_frame));
+    }
     if (harmful_)
         harmful_->onMigration(idx, target);
     return true;
@@ -1553,6 +1607,10 @@ MultiHostSystem::executeDemotion(std::uint64_t idx, Cycles now)
     cxlDram_.access(pageBase(new_frame) - cfg_.cxlBase(), now, true);
     migrationTransferBytes.inc(pageBytes);
     osDemotions.inc();
+    if (trace_) {
+        trace_->record(ObsEventType::osDemotion, now, idx, from,
+                       static_cast<std::uint32_t>(new_frame));
+    }
     if (harmful_)
         harmful_->onDemotion(idx);
 }
@@ -1633,6 +1691,44 @@ MultiHostSystem::resetStats()
         faults_->stats().resetAll();
     if (switch_)
         switch_->stats().resetAll();
+}
+
+void
+MultiHostSystem::attachTrace(ObsTrace *trace)
+{
+    trace_ = trace;
+    deviceDir_.attachTrace(trace);
+    if (faults_)
+        faults_->attachTrace(trace);
+}
+
+void
+MultiHostSystem::registerStats(MetricsRegistry &registry)
+{
+    // Mirror resetStats(): every group reset at the warmup boundary is
+    // registered, plus the harmful tracker (whose counters are lifetime
+    // totals — the registry's begin() baseline handles the offset).
+    registry.addGroup(stats_);
+    for (unsigned h = 0; h < cfg_.numHosts; ++h) {
+        const std::string prefix = "host" + std::to_string(h) + ".";
+        registry.addGroup(hosts_[h].caches->stats(), prefix);
+        registry.addGroup(hosts_[h].dram->stats(), prefix);
+        registry.addGroup(hosts_[h].link->stats(), prefix);
+        if (hosts_[h].localRemap)
+            registry.addGroup(hosts_[h].localRemap->stats(), prefix);
+    }
+    registry.addGroup(deviceDir_.stats());
+    registry.addGroup(cxlDram_.stats());
+    if (globalRemap_)
+        registry.addGroup(globalRemap_->stats());
+    if (pipm_)
+        registry.addGroup(pipm_->stats());
+    if (faults_)
+        registry.addGroup(faults_->stats());
+    if (switch_)
+        registry.addGroup(switch_->stats());
+    if (harmful_)
+        registry.addGroup(harmful_->stats());
 }
 
 void

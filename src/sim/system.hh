@@ -36,6 +36,8 @@
 #include "mem/memory_image.hh"
 #include "migration/harmful.hh"
 #include "migration/os_policy.hh"
+#include "obs/metrics_registry.hh"
+#include "obs/trace.hh"
 #include "os/address_space.hh"
 #include "os/tlb.hh"
 #include "pipm/pipm_state.hh"
@@ -139,6 +141,24 @@ class MultiHostSystem
 
     /** Reset all measurement stats (end of warmup). */
     void resetStats();
+
+    // ---- Observability (DESIGN.md §10) ----------------------------------
+
+    /**
+     * Attach an event trace (nullptr: detach). Forwarded to the device
+     * directory and the fault injector; the system layer itself records
+     * migration decisions (promotions, revocations, aborts, OS epoch
+     * migrations), poison discoveries, crash/rejoin events, and — for
+     * watched lines — device-directory state transitions.
+     */
+    void attachTrace(ObsTrace *trace);
+
+    /**
+     * Register every stat group of this system with a telemetry
+     * registry. Per-host groups (cache, local_dram, link, local_remap)
+     * get a "hostN." prefix since their group names repeat across hosts.
+     */
+    void registerStats(MetricsRegistry &registry);
 
     // ---- Introspection ------------------------------------------------
 
@@ -285,6 +305,21 @@ class MultiHostSystem
     /** Take and clear the pending kernel stall of a core. */
     Cycles takePendingStall(HostId h, CoreId c);
 
+    /**
+     * Record a directory state transition of a watched line (trace on).
+     * aux packs old state in bits 15..8, new state in bits 7..0.
+     */
+    void
+    noteDirState(LineAddr line, DevState old_state, DevState new_state,
+                 HostId h, Cycles now)
+    {
+        if (trace_ && trace_->lineWatched(line)) {
+            trace_->record(ObsEventType::dirTransition, now, line, h,
+                           (static_cast<std::uint32_t>(old_state) << 8) |
+                               static_cast<std::uint32_t>(new_state));
+        }
+    }
+
     // ---- Crash recovery --------------------------------------------------
 
     /** Drain crash/rejoin events from the injector's schedule. */
@@ -328,6 +363,7 @@ class MultiHostSystem
 
     bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
     LatencyEstimates est_;
+    ObsTrace *trace_ = nullptr;     ///< event trace (nullptr: off)
     StatGroup stats_;
 };
 

@@ -156,6 +156,63 @@ TEST(Stats, HistogramBucketsAndOverflow)
     EXPECT_NEAR(h.mean(), (5 + 25 + 1000) / 3.0, 1e-9);
 }
 
+TEST(Stats, AverageEmptyMeanIsZero)
+{
+    Average a;
+    EXPECT_DOUBLE_EQ(a.mean(), 0.0);
+    EXPECT_EQ(a.count(), 0u);
+    EXPECT_DOUBLE_EQ(a.sum(), 0.0);
+}
+
+TEST(Stats, HistogramZeroWidthIsClampedToOne)
+{
+    // Regression: Histogram(0, ...) used to divide by zero on the first
+    // sample. The width clamps to 1 and at least one regular bucket is
+    // kept in front of the overflow bucket.
+    Histogram h(0, 0);
+    EXPECT_EQ(h.bucketWidth(), 1u);
+    ASSERT_EQ(h.buckets().size(), 2u);
+    h.sample(0);
+    h.sample(5);
+    EXPECT_EQ(h.count(), 2u);
+    EXPECT_EQ(h.buckets()[0], 1u);
+    EXPECT_EQ(h.buckets().back(), 1u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.buckets()[0], 0u);
+}
+
+TEST(Stats, DumpPrintsHistogramBucketsAndOverflow)
+{
+    StatGroup group("grp");
+    Histogram h(10, 4);
+    group.addHistogram(&h, "lat", "latency");
+    h.sample(5);
+    h.sample(5);
+    h.sample(1000);
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("grp.lat mean="), std::string::npos);
+    EXPECT_NE(dump.find("grp.lat[0,9] 2"), std::string::npos);
+    EXPECT_NE(dump.find("grp.lat[40+] 1"), std::string::npos);
+    EXPECT_NE(dump.find("# overflow"), std::string::npos);
+}
+
+TEST(Stats, DumpFormattingIsFixedPrecision)
+{
+    // Regression: the default stream precision (6 significant digits)
+    // rendered large means in scientific notation, and the global locale
+    // could group digits — both made dumps non-reproducible. The dump
+    // pins classic-locale fixed notation with 6 decimal places.
+    StatGroup group("grp");
+    Average a;
+    group.addAverage(&a, "big", "large mean");
+    a.sample(1234567.5);
+    const std::string dump = group.dump();
+    EXPECT_NE(dump.find("grp.big 1234567.500000 (n=1)"),
+              std::string::npos);
+    EXPECT_EQ(dump.find("e+"), std::string::npos);
+}
+
 TEST(Stats, GroupDumpContainsNamesAndValues)
 {
     StatGroup group("grp");
@@ -255,6 +312,27 @@ TEST(Config, ScaledEpochAndCosts)
     EXPECT_EQ(cfg.osPageInitiatorCycles(),
               nsToCycles(20e3) / cfg.timeScale);
     EXPECT_GT(cfg.osPageTransferBytes(), 0u);
+}
+
+TEST(Config, OsEpochCyclesNeverRoundsToZero)
+{
+    // Regression: a timeScale larger than the epoch in cycles rounded
+    // osEpochCycles() down to 0, turning the OS policy timer into an
+    // every-cycle busy loop. The scaled epoch clamps to >= 1.
+    SystemConfig cfg = defaultConfig();
+    cfg.osMigration.intervalMs = 0.001;   // 4000 cycles at 4 GHz
+    cfg.timeScale = 1'000'000;
+    EXPECT_EQ(cfg.osEpochCycles(), 1u);
+}
+
+TEST(Config, ValidateRejectsNonPositiveEpoch)
+{
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.osMigration.intervalMs = 0.0;
+    EXPECT_THROW(cfg.validate(), SimError);
+    cfg.osMigration.intervalMs = -5.0;
+    EXPECT_THROW(cfg.validate(), SimError);
 }
 
 TEST(Types, AddressHelpers)
