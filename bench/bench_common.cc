@@ -214,12 +214,18 @@ applyEnvFaults(SystemConfig &cfg)
     if (!v || !*v || std::string(v) == "0")
         return false;
     // "crash" (or "2") additionally enables the host fail-stop crash and
-    // rejoin schedule; any other value keeps the original fault-only
-    // schedule bit-identical to what it produced before crashes existed.
+    // rejoin schedule; "suspect" (or "3") layers the lease-based failure
+    // detector, gray-failure stall windows and transaction retries on
+    // top of that (DESIGN.md §11); any other value keeps the original
+    // fault-only schedule bit-identical to what it produced before
+    // crashes existed.
     const std::string mode(v);
-    cfg.fault = (mode == "crash" || mode == "2")
-                    ? paperCrashFaultConfig(envU64("PIPM_BENCH_SEED", 42))
-                    : paperFaultConfig(envU64("PIPM_BENCH_SEED", 42));
+    const std::uint64_t fseed = envU64("PIPM_BENCH_SEED", 42);
+    cfg.fault = (mode == "suspect" || mode == "3")
+                    ? paperSuspicionFaultConfig(fseed)
+                : (mode == "crash" || mode == "2")
+                    ? paperCrashFaultConfig(fseed)
+                    : paperFaultConfig(fseed);
     return true;
 }
 

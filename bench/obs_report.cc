@@ -238,6 +238,21 @@ main(int argc, char **argv)
             }
             return argv[++i];
         };
+        if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: obs_report [--file stats.json] [--scheme s] "
+                "[--workload w] [--out path]\n"
+                "\n"
+                "Without --file, runs one experiment with the stats.json "
+                "export\nenabled, validates the document and renders the "
+                "per-interval\nbreakdown. With --file, validates and "
+                "renders an existing export.\n"
+                "\n"
+                "Environment: PIPM_BENCH_* run-length knobs and PIPM_OBS_* "
+                "knobs\napply; --out defaults to PIPM_STATS_JSON, then "
+                "\"stats.json\".\n");
+            return 0;
+        }
         if (arg == "--file")
             file = next();
         else if (arg == "--out")
@@ -247,6 +262,8 @@ main(int argc, char **argv)
         else if (arg == "--workload")
             workload_name = next();
         else {
+            std::fprintf(stderr, "obs_report: unknown argument '%s'\n",
+                         arg.c_str());
             std::fprintf(stderr,
                          "usage: obs_report [--file stats.json] "
                          "[--scheme s] [--workload w] [--out path]\n");

@@ -13,12 +13,36 @@
  *   PIPM_VERIFY_ACCESSES   accesses per schedule (default 20000)
  */
 
+#include <cctype>
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/config.hh"
 #include "common/table_printer.hh"
 #include "verify/fault_schedule.hh"
+
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: verify_crash [--help] [seed]\n"
+          "\n"
+          "Checks host fail-stop crash/rejoin schedules against a\n"
+          "last-writer data oracle and the cross-structure invariants.\n"
+          "\n"
+          "  seed    base seed (default 1; overrides PIPM_VERIFY_SEED)\n"
+          "\n"
+          "Environment:\n"
+          "  PIPM_VERIFY_SEED       base seed (default 1)\n"
+          "  PIPM_VERIFY_SCHEDULES  schedules per scheme (default 4)\n"
+          "  PIPM_VERIFY_ACCESSES   accesses per schedule (default "
+          "20000)\n";
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
@@ -30,8 +54,21 @@ main(int argc, char **argv)
         return v && *v ? std::strtoull(v, nullptr, 10) : fallback;
     };
     std::uint64_t seed = env_u64("PIPM_VERIFY_SEED", 1);
-    if (argc > 1)
-        seed = std::strtoull(argv[1], nullptr, 10);
+    for (int i = 1; i < argc; ++i) {
+        const char *arg = argv[i];
+        if (std::strcmp(arg, "--help") == 0 ||
+            std::strcmp(arg, "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        }
+        if (std::isdigit(static_cast<unsigned char>(arg[0]))) {
+            seed = std::strtoull(arg, nullptr, 10);
+            continue;
+        }
+        std::cerr << "verify_crash: unknown argument '" << arg << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
     const auto schedules = static_cast<unsigned>(
         env_u64("PIPM_VERIFY_SCHEDULES", 4));
     const std::uint64_t accesses = env_u64("PIPM_VERIFY_ACCESSES", 20'000);

@@ -53,6 +53,48 @@ FaultConfig::validate() const
     fatal_if(crashMaxEvents > 4096,
              "fault.crashMaxEvents above 4096 is not a crash schedule, "
              "it is a denial of service");
+    fatal_if(leaseNs < 0.0, "fault.leaseNs must be non-negative");
+    fatal_if(heartbeatIntervalNs < 0.0,
+             "fault.heartbeatIntervalNs must be non-negative");
+    fatal_if(leaseNs > 0.0 && heartbeatIntervalNs <= 0.0,
+             "fault.heartbeatIntervalNs must be positive when a lease "
+             "is configured");
+    fatal_if(leaseNs > 0.0 && heartbeatIntervalNs >= leaseNs,
+             "fault.heartbeatIntervalNs (", heartbeatIntervalNs,
+             ") must be shorter than fault.leaseNs (", leaseNs,
+             "): a lease that can expire between renewals suspects "
+             "every host");
+    fatal_if(leaseNs > 0.0 && txnTimeoutNs <= 0.0,
+             "fault.txnTimeoutNs must be positive when a lease is "
+             "configured, got ", txnTimeoutNs);
+    fatal_if(txnTimeoutNs < 0.0, "fault.txnTimeoutNs must be non-negative");
+    fatal_if(txnRetryLimit == 0 && txnBackoffBaseNs > 0.0,
+             "fault.txnRetryLimit of 0 with txnBackoffBaseNs ",
+             txnBackoffBaseNs, " arms a backoff that can never fire; "
+             "set the backoff base to 0 or allow at least one retry");
+    fatal_if(txnBackoffBaseNs < 0.0,
+             "fault.txnBackoffBaseNs must be non-negative");
+    fatal_if(txnBackoffMaxExp > 20,
+             "fault.txnBackoffMaxExp above 20 overflows any realistic "
+             "run");
+    fatal_if(readmitDelayNs < 0.0,
+             "fault.readmitDelayNs must be non-negative");
+    fatal_if(stallMeanIntervalNs < 0.0,
+             "fault.stallMeanIntervalNs must be non-negative");
+    fatal_if(stallWindowNs < 0.0, "fault.stallWindowNs must be non-negative");
+    fatal_if(stallMeanIntervalNs > 0.0 && leaseNs <= 0.0,
+             "fault.stallMeanIntervalNs requires a lease (fault.leaseNs "
+             "> 0): gray-failure stalls are only observable through a "
+             "failure detector");
+    fatal_if(stallMeanIntervalNs > 0.0 && stallWindowNs <= 0.0,
+             "fault.stallWindowNs must be positive when stall windows "
+             "are on");
+    fatal_if(stallMeanIntervalNs > 0.0 && stallMaxEvents == 0,
+             "fault.stallMaxEvents must be positive when stall windows "
+             "are on");
+    fatal_if(stallMaxEvents > 4096,
+             "fault.stallMaxEvents above 4096 is not a stall schedule, "
+             "it is a denial of service");
     fatal_if(backoffWindow == 0, "fault.backoffWindow must be positive");
     fatal_if(backoffBaseNs < 0.0,
              "fault.backoffBaseNs must be non-negative");
@@ -156,6 +198,18 @@ SystemConfig::measurementKey() const
                << fault.crashMaxEvents << ','
                << static_cast<unsigned>(fault.crashRecovery);
         }
+        if (fault.leaseNs > 0.0) {
+            // Appended only when the lease detector is on, keeping
+            // oracle-mode (leaseNs == 0) keys identical to what they were
+            // before detected failures existed.
+            os << ",lease:" << fault.leaseNs << ','
+               << fault.heartbeatIntervalNs << ',' << fault.txnTimeoutNs
+               << ',' << fault.txnRetryLimit << ','
+               << fault.txnBackoffBaseNs << ',' << fault.txnBackoffMaxExp
+               << ',' << fault.readmitDelayNs << ','
+               << fault.stallMeanIntervalNs << ',' << fault.stallWindowNs
+               << ',' << fault.stallMaxEvents;
+        }
     }
     return os.str();
 }
@@ -255,6 +309,27 @@ paperCrashFaultConfig(std::uint64_t seed, double mean_interval_ns,
     FaultConfig f = paperFaultConfig(seed);
     f.crashMeanIntervalNs = mean_interval_ns;
     f.crashRejoinNs = rejoin_ns;
+    f.validate();
+    return f;
+}
+
+FaultConfig
+paperSuspicionFaultConfig(std::uint64_t seed, double lease_ns,
+                          double stall_mean_interval_ns)
+{
+    FaultConfig f = paperCrashFaultConfig(seed);
+    f.leaseNs = lease_ns;
+    f.heartbeatIntervalNs = lease_ns / 5.0;
+    f.txnTimeoutNs = 2'000.0;
+    f.txnRetryLimit = 3;
+    f.txnBackoffBaseNs = 1'000.0;
+    f.txnBackoffMaxExp = 3;
+    f.readmitDelayNs = 10'000.0;
+    f.stallMeanIntervalNs = stall_mean_interval_ns;
+    // Mean window length 1.5x the lease: drawn lengths span
+    // [0.75, 2.25] x lease, so some stalls are ridden out by retries and
+    // the rest expire the lease and fence the (alive) host.
+    f.stallWindowNs = 1.5 * lease_ns;
     f.validate();
     return f;
 }

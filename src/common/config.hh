@@ -213,6 +213,50 @@ struct FaultConfig
     /** How stale device copies of lost-dirty lines are served. */
     CrashRecoveryPolicy crashRecovery = CrashRecoveryPolicy::stale;
 
+    /**
+     * Lease duration for device-side failure detection (DESIGN.md §11);
+     * 0 keeps the PR-2 *oracle* model where crashHost() reclaims
+     * synchronously. When positive, each host renews its lease with a
+     * heartbeat every heartbeatIntervalNs and the device only reclaims a
+     * host's lines after the lease expires (the host becomes
+     * *suspected*). A host suspected while actually alive (gray failure)
+     * is fenced as a zombie and must readmit through the cold-rejoin
+     * path.
+     */
+    double leaseNs = 0.0;
+    /** Heartbeat renewal period; must be shorter than the lease. */
+    double heartbeatIntervalNs = 5'000.0;
+    /** Per-attempt coherence-transaction response timeout. */
+    double txnTimeoutNs = 2'000.0;
+    /** Retries after the first timed-out attempt before the requester
+     *  gives up and suspects the target. */
+    unsigned txnRetryLimit = 4;
+    /** Base retry backoff; doubles per attempt up to txnBackoffMaxExp,
+     *  plus deterministic per-transaction jitter. 0 disables backoff
+     *  (retries depart immediately after each timeout). */
+    double txnBackoffBaseNs = 500.0;
+    /** Cap on the retry-backoff exponent. */
+    unsigned txnBackoffMaxExp = 4;
+    /** Delay between a fenced zombie observing the NACK on its stale
+     *  request and completing cold readmission. */
+    double readmitDelayNs = 10'000.0;
+
+    /**
+     * Mean interval between gray-failure *stall windows* (host alive but
+     * unresponsive); 0 disables. Windows are pre-generated on a separate
+     * RNG stream (like the crash schedule) so enabling them leaves the
+     * crash/link/poison schedules bit-identical. Requires leaseNs > 0:
+     * stalls are only meaningful under a failure detector.
+     */
+    double stallMeanIntervalNs = 0.0;
+    /** Mean stall-window length; actual lengths are drawn uniformly in
+     *  [0.5, 1.5] x this. Windows longer than the lease cause *false*
+     *  suspicions (zombie fencing); shorter ones are ridden out by the
+     *  transaction retry path. */
+    double stallWindowNs = 30'000.0;
+    /** Upper bound on generated stall windows per run. */
+    unsigned stallMaxEvents = 64;
+
     /** Link messages per error-rate observation window. */
     std::uint64_t backoffWindow = 512;
     /** Observed error rate above which migrations back off. */
@@ -439,6 +483,19 @@ FaultConfig paperFaultConfig(std::uint64_t seed = 1);
 FaultConfig paperCrashFaultConfig(std::uint64_t seed = 1,
                                   double mean_interval_ns = 150'000.0,
                                   double rejoin_ns = 100'000.0);
+
+/**
+ * The crash schedule under *detected* (non-oracle) failures: leases with
+ * heartbeat renewal, coherence-transaction timeout/retry/backoff, and
+ * gray-failure stall windows whose mean length straddles the lease so
+ * both ridden-out stalls and false suspicions (zombie fencing) occur.
+ * Used by the suspicion-schedule verifier and the
+ * PIPM_BENCH_FAULTS=suspect bench mode.
+ */
+FaultConfig paperSuspicionFaultConfig(std::uint64_t seed = 1,
+                                      double lease_ns = 20'000.0,
+                                      double stall_mean_interval_ns =
+                                          120'000.0);
 
 } // namespace pipm
 

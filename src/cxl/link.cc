@@ -90,4 +90,41 @@ CxlLink::transfer(LinkDir dir, unsigned bytes, Cycles now)
     return lat;
 }
 
+TxnAwait
+CxlLink::awaitResponse(Cycles now, Cycles responsive_at,
+                       std::uint64_t jitter_key)
+{
+    TxnAwait out;
+    if (!faults_ || responsive_at <= now)
+        return out;
+    const FaultConfig &fc = faults_->config();
+    const Cycles timeout = nsToCycles(fc.txnTimeoutNs);
+    const Cycles base = nsToCycles(fc.txnBackoffBaseNs);
+    Cycles depart = now;
+    for (unsigned attempt = 0;; ++attempt) {
+        if (depart >= responsive_at)
+            break;   // this attempt reaches a responsive target
+        faults_->noteTxnTimeout();
+        if (attempt >= fc.txnRetryLimit) {
+            // Budget exhausted: eat the last timeout and give up; the
+            // caller suspects the target.
+            depart += timeout;
+            out.ok = false;
+            break;
+        }
+        const unsigned exp = std::min(attempt, fc.txnBackoffMaxExp);
+        // Deterministic jitter in [0, base/4]: desynchronises retries of
+        // concurrent transactions without consuming any RNG stream.
+        const Cycles jitter =
+            base ? faults_->hashDraw(jitter_key ^ (attempt + 1)) %
+                       (base / 4 + 1)
+                 : 0;
+        depart += timeout + base * (Cycles{1} << exp) + jitter;
+        ++out.retries;
+        faults_->noteTxnRetry(host_, depart, attempt + 1);
+    }
+    out.latency = depart - now;
+    return out;
+}
+
 } // namespace pipm

@@ -30,6 +30,14 @@ class FaultInjector;
 /** Direction of travel over a host<->device link. */
 enum class LinkDir : std::uint8_t { toDevice, toHost };
 
+/** Outcome of awaiting a response from a possibly-unresponsive target. */
+struct TxnAwait
+{
+    Cycles latency = 0;    ///< cycles burned on timeouts and backoff
+    unsigned retries = 0;  ///< retry attempts after the first timeout
+    bool ok = true;        ///< false: retry budget exhausted, give up
+};
+
 /**
  * CXL message sizes (bytes) charged on the wire. The configured link
  * bandwidth is the *effective* data bandwidth (Table 2 footnote: 8 GB/s
@@ -97,6 +105,24 @@ class CxlLink
 
     /** Propagation-only latency of one traversal (no queuing). */
     Cycles propagation() const { return propagation_; }
+
+    /**
+     * Timeout/retry engine of the detection layer (DESIGN.md §11): wait
+     * for a response from a target that becomes responsive at
+     * `responsive_at`. Each attempt that departs before that instant
+     * times out after fault.txnTimeoutNs; the retry departs after an
+     * exponentially growing backoff (base x 2^min(attempt, maxExp)) plus
+     * deterministic jitter hashed from `jitter_key`, up to
+     * fault.txnRetryLimit retries. Retries are idempotent — the caller
+     * performs the actual transfer once, after a successful await.
+     *
+     * @return accumulated timeout+backoff latency, the retry count, and
+     *         whether an attempt finally got through (`ok`). With a
+     *         responsive target ({latency 0, retries 0, ok}) the engine
+     *         is free, so oracle-mode runs are untouched.
+     */
+    TxnAwait awaitResponse(Cycles now, Cycles responsive_at,
+                           std::uint64_t jitter_key);
 
     /**
      * Attach the system's fault injector: messages may then be CRC-

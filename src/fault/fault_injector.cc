@@ -39,6 +39,8 @@ FaultInjector::FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
       retrainPhase_(num_hosts, 0),
       lastRetrainEpoch_(num_hosts,
                         std::numeric_limits<std::uint64_t>::max()),
+      stallWindows_(num_hosts),
+      stallCounted_(num_hosts, 0),
       stats_("fault")
 {
     // Spread the hosts' retraining windows over the period so that at
@@ -83,7 +85,27 @@ FaultInjector::FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
                       "device cycles spent on crash reclamation");
     stats_.addCounter(&staleEpochDrops, "stale_epoch_drops",
                       "stale-epoch references rejected");
+    if (cfg.leaseNs > 0.0) {
+        // Registered only under a lease so that oracle-mode stats.json
+        // exports keep the exact counter set they had before detection
+        // existed (byte-identity of the crash-schedule exports).
+        stats_.addCounter(&suspicions, "suspicions",
+                          "hosts suspected by the lease detector");
+        stats_.addCounter(&falseSuspicions, "false_suspicions",
+                          "suspicions of hosts that were actually alive");
+        stats_.addCounter(&fencedRequests, "fenced_requests",
+                          "stale-epoch zombie requests NACKed");
+        stats_.addCounter(&txnTimeouts, "txn_timeouts",
+                          "coherence-transaction attempts timed out");
+        stats_.addCounter(&txnRetries, "txn_retries",
+                          "timed-out coherence transactions retried");
+        stats_.addCounter(&txnAbandoned, "txn_abandoned",
+                          "transactions abandoned after the retry budget");
+        stats_.addCounter(&stallWindowsEntered, "stall_windows",
+                          "gray-failure stall windows entered");
+    }
     generateCrashSchedule();
+    generateStallSchedule();
 }
 
 void
@@ -140,15 +162,88 @@ FaultInjector::generateCrashSchedule()
             crashSchedule_.push_back(re);
         }
     }
-    std::sort(crashSchedule_.begin(), crashSchedule_.end(),
-              [](const CrashEvent &a, const CrashEvent &b) {
-                  if (a.at != b.at)
-                      return a.at < b.at;
-                  // A rejoin scheduled at the same instant as another
-                  // host's crash processes first, keeping alive counts
-                  // conservative.
-                  return a.rejoin && !b.rejoin;
-              });
+    // eventBefore is a strict total order (time, rejoin-first, host):
+    // the old comparator left same-instant same-kind events in an
+    // unspecified relative order, so the processed sequence depended on
+    // the std::sort implementation.
+    std::sort(crashSchedule_.begin(), crashSchedule_.end(), &eventBefore);
+}
+
+void
+FaultInjector::generateStallSchedule()
+{
+    if (cfg_.stallMeanIntervalNs <= 0.0)
+        return;
+    // A dedicated stream (like the crash schedule): enabling stall
+    // windows must not move the crash schedule or any ordered draw.
+    Rng srng(seed_ ^ 0x7374616c6c2d6576ull);
+    const Cycles mean = nsToCycles(cfg_.stallMeanIntervalNs);
+    const Cycles window = nsToCycles(cfg_.stallWindowNs);
+
+    Cycles t = 0;
+    for (unsigned k = 0; k < cfg_.stallMaxEvents; ++k) {
+        // Uniform spacing in [0.5, 1.5] x mean, matching the crash
+        // schedule's spacing law.
+        t += mean / 2 + srng.range(0, mean > 0 ? mean : 1);
+        const HostId victim =
+            static_cast<HostId>(srng.range(0, numHosts_ - 1));
+        const Cycles dur =
+            window / 2 + srng.range(0, window > 0 ? window : 1);
+        auto &wins = stallWindows_[victim];
+        // Windows are generated in increasing start order; merge a new
+        // window that begins inside the previous one instead of letting
+        // them overlap, so stallUntil can binary-search.
+        if (!wins.empty() && wins.back().second > t)
+            wins.back().second = std::max(wins.back().second, t + dur);
+        else
+            wins.emplace_back(t, t + dur);
+    }
+}
+
+Cycles
+FaultInjector::stallUntilAt(HostId h, Cycles now) const
+{
+    const auto &wins = stallWindows_[h];
+    // Last window starting at or before `now`.
+    auto it = std::upper_bound(
+        wins.begin(), wins.end(), now,
+        [](Cycles t, const std::pair<Cycles, Cycles> &w) {
+            return t < w.first;
+        });
+    if (it == wins.begin())
+        return 0;
+    --it;
+    return now < it->second ? it->second : 0;
+}
+
+Cycles
+FaultInjector::stallUntil(HostId h, Cycles now)
+{
+    const Cycles until = stallUntilAt(h, now);
+    if (until == 0)
+        return 0;
+    const auto &wins = stallWindows_[h];
+    const std::size_t idx = static_cast<std::size_t>(
+        std::upper_bound(wins.begin(), wins.end(), now,
+                         [](Cycles t, const std::pair<Cycles, Cycles> &w) {
+                             return t < w.first;
+                         }) -
+        wins.begin());   // 1 + index of the covering window
+    if (idx > stallCounted_[h]) {
+        stallCounted_[h] = idx;
+        stallWindowsEntered.inc();
+        if (trace_) {
+            trace_->record(ObsEventType::stallWindow, now, 0, h,
+                           static_cast<std::uint32_t>(until - now));
+        }
+    }
+    return until;
+}
+
+std::uint64_t
+FaultInjector::hashDraw(std::uint64_t key) const
+{
+    return mix(seed_ ^ 0x74786e2d6a697474ull ^ mix(key));
 }
 
 const CrashEvent *

@@ -23,7 +23,14 @@
  *    per-host crash (and optional rejoin) events. The injector only owns
  *    the *schedule* and the crash counters; the reclamation itself
  *    (directory sweep, remap reintegration, epoch bump) is done by
- *    MultiHostSystem::crashHost()/rejoinHost() when an event falls due.
+ *    MultiHostSystem::crashHost()/rejoinHost() when an event falls due;
+ *  - gray-failure stall windows (DESIGN.md §11): pre-generated per-host
+ *    intervals during which a host is alive but unresponsive. Like the
+ *    crash schedule they come from their own derived stream, so enabling
+ *    them leaves every other fault draw bit-identical. The injector only
+ *    owns the window schedule; the lease detector in MultiHostSystem
+ *    decides whether a stall is ridden out by transaction retries or
+ *    expires the lease and fences the host.
  *
  * All link-message draws come from one xoshiro stream seeded from the
  * fault seed; per-line poison and retraining phases are stateless hash
@@ -44,6 +51,7 @@
 #define PIPM_FAULT_FAULT_INJECTOR_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -139,6 +147,67 @@ class FaultInjector
         return crashSchedule_;
     }
 
+    /**
+     * The strict total order schedule events are sorted (and processed)
+     * in: earlier time first; at the same instant rejoins before
+     * crashes (keeping alive counts conservative) and lower host IDs
+     * first. Exposed so the regression test can pin same-instant
+     * ordering. Stall windows need no entry in this order: they are
+     * level-triggered state queried through stallUntil(), and a window
+     * coinciding with a crash instant is subsumed because liveness is
+     * always checked before stalledness.
+     */
+    static bool
+    eventBefore(const CrashEvent &a, const CrashEvent &b)
+    {
+        if (a.at != b.at)
+            return a.at < b.at;
+        if (a.rejoin != b.rejoin)
+            return a.rejoin;
+        return a.host < b.host;
+    }
+
+    // ---- Gray-failure stall windows --------------------------------------
+
+    /**
+     * End of the stall window covering `now` for host h, or 0 when the
+     * host is responsive. Counts (and traces) each window once, on the
+     * first query that lands inside it.
+     */
+    Cycles stallUntil(HostId h, Cycles now);
+
+    /** Side-effect-free variant for invariant checks and tests. */
+    Cycles stallUntilAt(HostId h, Cycles now) const;
+
+    /** Host h's pre-generated [start, end) stall windows. */
+    const std::vector<std::pair<Cycles, Cycles>> &
+    stallWindows(HostId h) const
+    {
+        return stallWindows_[h];
+    }
+
+    // ---- Detection-layer helpers -----------------------------------------
+
+    /** The fault configuration the injector was built with. */
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Stateless uniform draw from (seed, key): retry jitter etc. */
+    std::uint64_t hashDraw(std::uint64_t key) const;
+
+    /** A coherence-transaction attempt timed out. */
+    void noteTxnTimeout() { txnTimeouts.inc(); }
+
+    /** A timed-out transaction is being retried (attempt >= 1). */
+    void
+    noteTxnRetry(HostId requester, Cycles now, unsigned attempt)
+    {
+        txnRetries.inc();
+        if (trace_) {
+            trace_->record(ObsEventType::txnRetry, now, 0, requester,
+                           attempt);
+        }
+    }
+
     // ---- Migration faults ----------------------------------------------
 
     /** Draw whether a fault lands mid-promotion (roll back if so). */
@@ -188,6 +257,18 @@ class FaultInjector
     Counter crashRecoveryCycles; ///< device cycles spent on reclamation
     Counter staleEpochDrops;     ///< stale-epoch references rejected
 
+    // Lease detection / gray failure (filled in by the system layer).
+    // Registered with the stat group only when a lease is configured, so
+    // oracle-mode stats.json exports keep their pre-detection counter
+    // set.
+    Counter suspicions;          ///< hosts suspected by the lease detector
+    Counter falseSuspicions;     ///< suspicions of hosts that were alive
+    Counter fencedRequests;      ///< zombie requests NACKed at the device
+    Counter txnTimeouts;         ///< transaction attempts that timed out
+    Counter txnRetries;          ///< timed-out transactions retried
+    Counter txnAbandoned;        ///< transactions given up after retries
+    Counter stallWindowsEntered; ///< gray-failure stall windows entered
+
   private:
     FaultConfig cfg_;
     unsigned numHosts_;
@@ -209,8 +290,16 @@ class FaultInjector
     /** Generate the crash schedule (constructor helper). */
     void generateCrashSchedule();
 
-    std::vector<CrashEvent> crashSchedule_;   ///< sorted by time
+    /** Generate the gray-failure stall windows (constructor helper). */
+    void generateStallSchedule();
+
+    std::vector<CrashEvent> crashSchedule_;   ///< sorted by eventBefore
     std::size_t crashCursor_ = 0;
+
+    /** Per-host [start, end) stall windows, sorted, non-overlapping. */
+    std::vector<std::vector<std::pair<Cycles, Cycles>>> stallWindows_;
+    /** Per-host 1 + index of the last window counted (0: none yet). */
+    std::vector<std::size_t> stallCounted_;
 
     ObsTrace *trace_ = nullptr;
 

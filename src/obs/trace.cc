@@ -23,6 +23,11 @@ toString(ObsEventType t)
       case ObsEventType::backoffArmed: return "backoff_armed";
       case ObsEventType::hostCrash: return "host_crash";
       case ObsEventType::hostRejoin: return "host_rejoin";
+      case ObsEventType::hostSuspected: return "host_suspected";
+      case ObsEventType::hostFenced: return "host_fenced";
+      case ObsEventType::fencedRequest: return "fenced_request";
+      case ObsEventType::txnRetry: return "txn_retry";
+      case ObsEventType::stallWindow: return "stall_window";
     }
     return "unknown";
 }

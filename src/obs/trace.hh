@@ -49,6 +49,11 @@ enum class ObsEventType : std::uint8_t
     backoffArmed,         ///< link-error backoff armed (aux = new exponent)
     hostCrash,            ///< fail-stop crash of `host` (aux = old epoch)
     hostRejoin,           ///< cold rejoin of `host` (aux = old epoch)
+    hostSuspected,        ///< lease of `host` expired (aux = epoch)
+    hostFenced,           ///< false suspicion: alive `host` fenced (aux = epoch)
+    fencedRequest,        ///< zombie `host`'s stale request NACKed
+    txnRetry,             ///< transaction retry by `host` (aux = attempt)
+    stallWindow,          ///< gray-failure stall of `host` (aux = cycles left)
 };
 
 /** Stable lowercase name used in stats.json and reports. */

@@ -194,6 +194,18 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             continue;
         }
 
+        // A gray-failed (stalled) host executes nothing: park its cores
+        // at the end of the stall window. The lease detector may fence
+        // the host first, in which case the dead-host branch above takes
+        // over on the next pass.
+        const Cycles stalled_until =
+            system.hostStalledUntil(next->host, next->model.now());
+        if (stalled_until > next->model.now()) {
+            next->model.stall(stalled_until - next->model.now());
+            system.tick(next->model.now());
+            continue;
+        }
+
         if (!measuring) {
             // Warmup ends when every core has issued its warmup refs.
             // Cores retired by a never-rejoining host crash are exempt.
@@ -331,6 +343,12 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             f->crashDirSwept.value() + f->crashLinesReclaimed.value();
         out.crashDirtyLinesLost = f->crashDirtyLinesLost.value();
         out.crashRecoveryCycles = f->crashRecoveryCycles.value();
+        out.suspicions = f->suspicions.value();
+        out.falseSuspicions = f->falseSuspicions.value();
+        out.fencedRequests = f->fencedRequests.value();
+        out.txnTimeouts = f->txnTimeouts.value();
+        out.txnRetries = f->txnRetries.value();
+        out.stallWindows = f->stallWindowsEntered.value();
     }
     out.pageFootprintFrac = samples ? page_frac_sum / samples : 0.0;
     out.lineFootprintFrac = samples ? line_frac_sum / samples : 0.0;

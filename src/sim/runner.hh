@@ -105,6 +105,15 @@ struct RunResult
     std::uint64_t crashDirtyLinesLost = 0; ///< latest value died with a host
     std::uint64_t crashRecoveryCycles = 0; ///< device-side reclamation work
 
+    // Lease-based failure detection (DESIGN.md §11; all zero with
+    // fault.leaseNs == 0 — the oracle mode).
+    std::uint64_t suspicions = 0;        ///< leases expired
+    std::uint64_t falseSuspicions = 0;   ///< alive hosts fenced
+    std::uint64_t fencedRequests = 0;    ///< zombie requests NACKed
+    std::uint64_t txnTimeouts = 0;       ///< transaction attempts timed out
+    std::uint64_t txnRetries = 0;        ///< retries after a timeout
+    std::uint64_t stallWindows = 0;      ///< gray-failure windows entered
+
     /** Fig. 13: mean per-host local footprint / total footprint. */
     double pageFootprintFrac = 0.0;
     /** Fig. 13 (PIPM-line): actually migrated lines / total footprint. */

@@ -95,6 +95,27 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
             faults_->reservePoison(
                 std::min<std::uint64_t>(shared_lines, 1u << 15));
         }
+        pendingDirty_.resize(cfg.numHosts);
+    }
+    detection_ = faults_ && cfg.fault.leaseNs > 0.0;
+    if (detection_) {
+        leaseCycles_ = nsToCycles(cfg.fault.leaseNs);
+        heartbeatCycles_ = nsToCycles(cfg.fault.heartbeatIntervalNs);
+        if (heartbeatCycles_ == 0)
+            heartbeatCycles_ = 1;
+        readmitCycles_ = nsToCycles(cfg.fault.readmitDelayNs);
+        needsReclaim_.assign(cfg.numHosts, 0);
+        trusted_.assign(cfg.numHosts, 1);
+        lastHeartbeat_.assign(cfg.numHosts, 0);
+        nextHeartbeat_.resize(cfg.numHosts);
+        zombieReadmitAt_.assign(cfg.numHosts, 0);
+        for (unsigned h = 0; h < cfg.numHosts; ++h) {
+            // Stagger renewals across hosts so a shared grid point does
+            // not make every lease expire in the same tick.
+            const Cycles phase =
+                (static_cast<Cycles>(h) * heartbeatCycles_) / cfg.numHosts;
+            nextHeartbeat_[h] = phase ? phase : heartbeatCycles_;
+        }
     }
     if (cfg.link.hasSwitch) {
         switch_ = std::make_unique<CxlSwitch>(cfg.link.switchBytesPerNs,
@@ -302,15 +323,34 @@ MultiHostSystem::access(HostId h, CoreId c, const MemRef &ref,
         }
     } else {
         // Fig. 3: non-cacheable 4-hop inter-host access.
-        sharedLlcMisses.inc();
-        const Cycles gl = gimRemoteAccess(h, mapping.gimHost, pa, ref.op,
-                                          now, write_data, &data);
-        lat += gl;
-        avgSharedMissLatency.sample(static_cast<double>(gl));
-        if (osPolicy_)
-            osPolicy_->recordAccess(idx, h);
-        if (harmful_)
-            harmful_->onRemoteAccess(idx);
+        const HostId gim_owner = mapping.gimHost;
+        bool gim_ok = true;
+        if (detection_) {
+            const TxnAwait aw = awaitHost(gim_owner, now, true);
+            lat += aw.latency;
+            if (!aw.ok) {
+                // Owner fenced: its GIM pages were demoted back to CXL
+                // during reclamation; re-resolve and take the CXL path.
+                gim_ok = false;
+                const SharedMapping &remap = space_->sharedMapping(idx);
+                const PhysAddr new_pa =
+                    pageBase(remap.frame) +
+                    static_cast<PhysAddr>(ref.lineIdx) * lineBytes;
+                lat += cxlAccess(h, c, idx, new_pa, ref.op, now + lat,
+                                 write_data, &data);
+            }
+        }
+        if (gim_ok) {
+            sharedLlcMisses.inc();
+            const Cycles gl = gimRemoteAccess(h, gim_owner, pa, ref.op,
+                                              now, write_data, &data);
+            lat += gl;
+            avgSharedMissLatency.sample(static_cast<double>(gl));
+            if (osPolicy_)
+                osPolicy_->recordAccess(idx, h);
+            if (harmful_)
+                harmful_->onRemoteAccess(idx);
+        }
     }
     return {lat, stall, data};
 }
@@ -511,8 +551,14 @@ MultiHostSystem::upgrade(HostId h, LineAddr line, Cycles now)
         const auto sh = static_cast<HostId>(s);
         if (sh == h || !entry->has(sh))
             continue;
-        Cycles rt = hosts_[sh].link->transfer(LinkDir::toHost,
-                                              CxlFlits::header, now);
+        Cycles rt = 0;
+        if (detection_) {
+            // A stalled sharer delays its ack; the invalidation itself
+            // still lands (suspect_on_fail = false keeps `entry` valid).
+            rt += awaitHost(sh, now, false).latency;
+        }
+        rt += hosts_[sh].link->transfer(LinkDir::toHost,
+                                        CxlFlits::header, now);
         rt += hosts_[sh].caches->llcRoundTrip();
         hosts_[sh].caches->invalidateLine(line);   // S copies are clean
         rt += hosts_[sh].link->transfer(LinkDir::toDevice,
@@ -543,6 +589,9 @@ MultiHostSystem::handleRecall(const DeviceDirectory::Recall &recall,
 {
     // Invalidate the victim line at every sharer; dirty data is written
     // back to CXL memory. All of this is off the demand critical path.
+    // A victim owned in M by a dead-but-unreclaimed host cannot write
+    // back: account the loss before the entry evaporates.
+    noteDeadOwnedDrop(recall.line, recall.entry);
     for (unsigned s = 0; s < cfg_.numHosts; ++s) {
         const auto sh = static_cast<HostId>(s);
         if (!recall.entry.has(sh))
@@ -656,7 +705,18 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
                            h);
         }
         if (vote.promoted) {
-            if (faults_ && faults_->abortPromotion()) {
+            if (detection_ && !hostAlive_[vote.promotedTo]) {
+                // Votes cast before the winner was fenced can still fire
+                // (oracle mode clears them synchronously at the crash;
+                // the detector cannot). Roll the setup back like an
+                // aborted promotion — no line has migrated yet.
+                pipm_->abortPromotion(vote.promotedTo, page);
+                faults_->promotionAborts.inc();
+                if (trace_) {
+                    trace_->record(ObsEventType::promotionAbort, now,
+                                   page, vote.promotedTo);
+                }
+            } else if (faults_ && faults_->abortPromotion()) {
                 // The promotion setup (frame allocation + table install)
                 // was interrupted mid-flight: roll everything back. No
                 // line has migrated yet, so the rollback restores the
@@ -683,6 +743,20 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     }
 
     DirEntry *entry = deviceDir_.lookup(line);
+
+    if (detection_ && entry && entry->state == DevState::M) {
+        // The forward below needs the owner to answer. A dead or fenced
+        // owner never will: the timeout/retry engine burns its budget,
+        // the owner is suspected and its state reclaimed (including this
+        // entry), and the access restarts against the swept directory.
+        const HostId fwd_owner = entry->owner(cfg_.numHosts);
+        if (fwd_owner != invalidHost && fwd_owner != h) {
+            const TxnAwait aw = awaitHost(fwd_owner, now, true);
+            lat += aw.latency;
+            if (!aw.ok)
+                entry = deviceDir_.lookup(line);
+        }
+    }
 
     if (entry && entry->state == DevState::M) {
         // Epoch check (DESIGN.md §8): an entry stamped under an epoch its
@@ -802,7 +876,13 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
             const auto sh = static_cast<HostId>(s);
             if (sh == h || !entry->has(sh))
                 continue;
-            Cycles rt = hosts_[sh].link->transfer(
+            Cycles rt = 0;
+            if (detection_) {
+                // Stalled sharers delay their acks; suspicion is left to
+                // the lease so `entry` survives the fan-out.
+                rt += awaitHost(sh, now, false).latency;
+            }
+            rt += hosts_[sh].link->transfer(
                 LinkDir::toHost, CxlFlits::header, now);
             rt += hosts_[sh].caches->llcRoundTrip();
             hosts_[sh].caches->invalidateLine(line);
@@ -848,7 +928,17 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     }
 
     // ---- Device state I ---------------------------------------------------
-    const HostId mh = pipm_ ? pipm_->migratedHostOf(page) : invalidHost;
+    HostId mh = pipm_ ? pipm_->migratedHostOf(page) : invalidHost;
+    if (detection_ && mh != invalidHost && mh != h &&
+        pipm_->lineMigrated(mh, page, li)) {
+        // The pull-back below needs the migrated-to host to answer. If
+        // it never does, suspicion reintegrates the page to its CXL home
+        // and the access falls through to the plain path.
+        const TxnAwait aw = awaitHost(mh, now, true);
+        lat += aw.latency;
+        if (!aw.ok)
+            mh = pipm_->migratedHostOf(page);
+    }
     if (naiveCoherence_ && mh != invalidHost &&
         pipm_->lineMigrated(mh, page, li)) {
         // Naive coherence (Fig. 8): the directory yielded nothing, so
@@ -1268,6 +1358,8 @@ MultiHostSystem::tick(Cycles now)
 {
     if (faults_)
         processCrashEvents(now);
+    if (detection_)
+        advanceLeases(now);
     if (osPolicy_ && now >= nextEpoch_) {
         runEpoch(now);
         nextEpoch_ += cfg_.osEpochCycles();
@@ -1280,11 +1372,138 @@ void
 MultiHostSystem::processCrashEvents(Cycles now)
 {
     while (const CrashEvent *ev = faults_->nextCrashEvent(now)) {
-        if (ev->rejoin)
+        if (detection_) {
+            // The detector can change liveness out from under the
+            // schedule: a false suspicion fences (kills) a host before
+            // its scheduled crash, and a fenced zombie readmits before
+            // its scheduled rejoin. Scheduled events that no longer
+            // apply are dropped instead of panicking.
+            if (ev->rejoin) {
+                if (!hostAlive_[ev->host])
+                    rejoinHost(ev->host, now);
+            } else {
+                if (hostAlive_[ev->host])
+                    crashHost(ev->host, now, ev->downUntil);
+            }
+        } else if (ev->rejoin) {
             rejoinHost(ev->host, now);
-        else
+        } else {
             crashHost(ev->host, now, ev->downUntil);
+        }
     }
+}
+
+void
+MultiHostSystem::suspectHost(HostId h, Cycles now)
+{
+    panic_if(!detection_, "suspectHost requires the lease detector "
+             "(fault.leaseNs > 0)");
+    panic_if(h >= cfg_.numHosts, "suspectHost: host id out of range");
+    if (!trusted_[h])
+        return;   // already suspected; reclaim ran (or is this call's)
+    trusted_[h] = 0;
+    faults_->suspicions.inc();
+    if (trace_)
+        trace_->record(ObsEventType::hostSuspected, now, 0, h,
+                       hostEpoch_[h]);
+
+    if (hostAlive_[h]) {
+        // False suspicion (gray failure): the host is alive — merely
+        // stalled or unlucky — but the device cannot tell. Fence it:
+        // bump its epoch so in-flight requests NACK at the directory,
+        // and treat its volatile state exactly like a crash. The zombie
+        // discovers the fence when its next request is rejected and
+        // readmits through cold rejoin after the readmit delay.
+        faults_->falseSuspicions.inc();
+        if (trace_) {
+            trace_->record(ObsEventType::hostFenced, now, 0, h,
+                           hostEpoch_[h]);
+        }
+        faults_->hostCrashes.inc();
+        hostAlive_[h] = 0;
+        ++hostEpoch_[h];
+        const Cycles stalled = faults_->stallUntil(h, now);
+        const Cycles back =
+            std::max(now, stalled) + readmitCycles_;
+        hostDownUntil_[h] = back;
+        zombieReadmitAt_[h] = back;
+        flushHostVolatile(h);
+        reclaimHost(h, now);
+    } else if (needsReclaim_[h]) {
+        // Real crash finally detected: run the deferred reclamation.
+        reclaimHost(h, now);
+    }
+    checkInvariants();
+}
+
+void
+MultiHostSystem::advanceLeases(Cycles now)
+{
+    for (unsigned i = 0; i < cfg_.numHosts; ++i) {
+        const auto h = static_cast<HostId>(i);
+        // Deliver every heartbeat grid point that has fallen due. A dead
+        // host renews nothing; a stalled host's renewal is swallowed by
+        // the stall window (that is what makes gray failures visible).
+        while (nextHeartbeat_[h] <= now) {
+            const Cycles t = nextHeartbeat_[h];
+            nextHeartbeat_[h] += heartbeatCycles_;
+            if (hostAlive_[h] && faults_->stallUntil(h, t) == 0)
+                lastHeartbeat_[h] = t;
+        }
+        if (trusted_[h] && now > lastHeartbeat_[h] + leaseCycles_)
+            suspectHost(h, now);
+        if (zombieReadmitAt_[h] && now >= zombieReadmitAt_[h]) {
+            // The zombie's first post-stall request hits the epoch fence
+            // and is NACKed; it then rejoins cold.
+            faults_->fencedRequests.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::fencedRequest, now, 0, h,
+                               hostEpoch_[h]);
+            }
+            rejoinHost(h, now);
+        }
+    }
+}
+
+Cycles
+MultiHostSystem::respondsAt(HostId t, Cycles now) const
+{
+    if (!hostAlive_[t])
+        return maxCycles;
+    const Cycles su = faults_->stallUntil(t, now);
+    return su > now ? su : now;
+}
+
+TxnAwait
+MultiHostSystem::awaitHost(HostId t, Cycles now, bool suspect_on_fail)
+{
+    if (!detection_)
+        return {};
+    const Cycles r = respondsAt(t, now);
+    if (r <= now)
+        return {};
+    TxnAwait aw = hosts_[t].link->awaitResponse(
+        now, r, (static_cast<std::uint64_t>(t) << 48) ^ now);
+    if (!aw.ok) {
+        faults_->txnAbandoned.inc();
+        if (suspect_on_fail)
+            suspectHost(t, now + aw.latency);
+    }
+    return aw;
+}
+
+Cycles
+MultiHostSystem::hostStalledUntil(HostId h, Cycles now) const
+{
+    if (!detection_ || !hostAlive_[h])
+        return 0;
+    return faults_->stallUntilAt(h, now);
+}
+
+bool
+MultiHostSystem::hostResponsive(HostId h, Cycles now) const
+{
+    return hostAlive_[h] && hostStalledUntil(h, now) == 0;
 }
 
 void
@@ -1301,31 +1520,32 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
     ++hostEpoch_[h];
     hostDownUntil_[h] = down_until;
 
-    Cycles recovery = 0;
-
-    // Loss accounting is against the last device-visible value: a line is
-    // *lost* when the most recent value (dead cache dirty copy or dead
-    // local-DRAM frame copy) differs from what the device can still serve.
-    // Each line is recorded at most once per crash; under the poison
-    // recovery policy lost lines additionally become persistently poisoned
-    // (uncacheable degraded path) instead of silently serving stale data.
-    std::unordered_set<LineAddr> lost_this_crash;
-    auto record_lost = [&](LineAddr line) {
-        if (!lost_this_crash.insert(line).second)
-            return;
-        faults_->crashDirtyLinesLost.inc();
-        lostLines_.push_back(line);
-        if (cfg_.fault.crashRecovery == CrashRecoveryPolicy::poison)
-            faults_->poisonLineForever(line);
-    };
-
     // ---- 1. The dead host's volatile state vanishes --------------------
+    flushHostVolatile(h);
+
+    if (!detection_) {
+        // Oracle mode (DESIGN.md §8): the device learns of the crash
+        // instantly and reclaims synchronously.
+        reclaimHost(h, now);
+    } else {
+        // Lease mode (DESIGN.md §11): the device only learns when the
+        // lease expires (or a transaction retry budget runs out). Until
+        // then the dead host's directory/remap/GIM state lingers and
+        // in-flight traffic runs against it.
+        needsReclaim_[h] = 1;
+    }
+    checkInvariants();
+}
+
+void
+MultiHostSystem::flushHostVolatile(HostId h)
+{
     // Dirty cached lines are remembered (keyed by home line address) only
-    // to decide lost-ness below; the data itself is gone.
-    std::unordered_map<LineAddr, std::uint64_t> latest;
+    // to decide lost-ness in the reclaim sweep; the data itself is gone.
+    auto &dirty = pendingDirty_[h];
     for (const auto &ev : hosts_[h].caches->flushAll()) {
         if (ev.dirty)
-            latest.emplace(ev.line, ev.data);
+            dirty.emplace(ev.line, ev.data);
     }
     for (Tlb &t : hosts_[h].tlbs)
         t.flushAll();
@@ -1333,6 +1553,27 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
         hosts_[h].localRemap->clear();
     std::fill(hosts_[h].pendingStall.begin(), hosts_[h].pendingStall.end(),
               static_cast<Cycles>(0));
+}
+
+void
+MultiHostSystem::reclaimHost(HostId h, Cycles now)
+{
+    Cycles recovery = 0;
+
+    // Loss accounting is against the last device-visible value: a line is
+    // *lost* when the most recent value (dead cache dirty copy or dead
+    // local-DRAM frame copy) differs from what the device can still serve.
+    // Each line is recorded at most once per reclaim; under the poison
+    // recovery policy lost lines additionally become persistently poisoned
+    // (uncacheable degraded path) instead of silently serving stale data.
+    std::unordered_set<LineAddr> lost_this_crash;
+    auto record_lost = [&](LineAddr line) {
+        if (!lost_this_crash.insert(line).second)
+            return;
+        noteLostLine(line);
+    };
+
+    std::unordered_map<LineAddr, std::uint64_t> &latest = pendingDirty_[h];
 
     // ---- 2. Directory sweep --------------------------------------------
     // Reclaim every entry whose sharer mask includes the dead host: S
@@ -1498,8 +1739,39 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
             harmful_->onDemotion(idx);
     }
 
+    latest.clear();
+    if (detection_)
+        needsReclaim_[h] = 0;
     faults_->crashRecoveryCycles.inc(recovery);
-    checkInvariants();
+}
+
+void
+MultiHostSystem::noteLostLine(LineAddr line)
+{
+    faults_->crashDirtyLinesLost.inc();
+    lostLines_.push_back(line);
+    if (cfg_.fault.crashRecovery == CrashRecoveryPolicy::poison)
+        faults_->poisonLineForever(line);
+}
+
+void
+MultiHostSystem::noteDeadOwnedDrop(LineAddr line, const DirEntry &entry)
+{
+    if (!detection_ || entry.state != DevState::M)
+        return;
+    const HostId mo = entry.owner(cfg_.numHosts);
+    if (mo == invalidHost || hostAlive_[mo] || !needsReclaim_[mo])
+        return;
+    // The entry is about to evaporate outside the reclaim sweep (recall
+    // or OS page flush): decide lost-ness now, and forget the pending
+    // value so the eventual sweep does not double-count it.
+    auto &dirty = pendingDirty_[mo];
+    const auto it = dirty.find(line);
+    if (it != dirty.end()) {
+        if (it->second != mem_.read(line))
+            noteLostLine(line);
+        dirty.erase(it);
+    }
 }
 
 void
@@ -1508,7 +1780,21 @@ MultiHostSystem::rejoinHost(HostId h, Cycles now)
     panic_if(!faults_, "host rejoin requires fault injection enabled");
     panic_if(h >= cfg_.numHosts, "rejoinHost: host id out of range");
     panic_if(hostAlive_[h], "rejoinHost: host ", int(h), " is alive");
-    (void)now;
+
+    // A host rejoining before its lease ever expired (short outage) still
+    // forces the reclaim: the device must not readmit a host whose old
+    // state is live in the directory.
+    if (detection_ && needsReclaim_[h]) {
+        if (trusted_[h]) {
+            trusted_[h] = 0;
+            faults_->suspicions.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::hostSuspected, now, 0, h,
+                               hostEpoch_[h]);
+            }
+        }
+        reclaimHost(h, now);
+    }
 
     faults_->hostRejoins.inc();
     if (trace_)
@@ -1516,6 +1802,14 @@ MultiHostSystem::rejoinHost(HostId h, Cycles now)
     hostAlive_[h] = 1;
     ++hostEpoch_[h];
     hostDownUntil_[h] = 0;
+    if (detection_) {
+        // Fresh lease: the readmitted host renews from `now` on its grid.
+        trusted_[h] = 1;
+        lastHeartbeat_[h] = now;
+        while (nextHeartbeat_[h] <= now)
+            nextHeartbeat_[h] += heartbeatCycles_;
+        zombieReadmitAt_[h] = 0;
+    }
     // Caches, TLBs and the local remap cache were already emptied at crash
     // time; the host comes back cold under its fresh (even) epoch, so any
     // stale in-flight reference stamped under the old epoch is rejected.
@@ -1534,6 +1828,8 @@ MultiHostSystem::flushSharedPage(std::uint64_t idx, Cycles now)
             if (ev && ev->dirty)
                 mem_.write(line, ev->data);
         }
+        if (const DirEntry *e = deviceDir_.probe(line))
+            noteDeadOwnedDrop(line, *e);
         deviceDir_.deallocate(line);
     }
     (void)now;
@@ -1744,8 +2040,26 @@ MultiHostSystem::checkInvariants() const
         panic_if(hostAlive_[h] != (hostEpoch_[h] % 2 == 0 ? 1 : 0),
                  "host ", h, " epoch parity (", hostEpoch_[h],
                  ") disagrees with liveness");
+        const bool unswept =
+            detection_ && !hostAlive_[h] && needsReclaim_[h];
+        if (detection_) {
+            panic_if(needsReclaim_[h] && hostAlive_[h],
+                     "alive host ", h, " marked needs-reclaim");
+            panic_if(zombieReadmitAt_[h] && hostAlive_[h],
+                     "alive host ", h, " has a pending zombie readmit");
+        }
+        if (faults_ && !unswept) {
+            panic_if(!pendingDirty_[h].empty(), "host ", h,
+                     " has pending dirty captures outside a deferred "
+                     "reclaim");
+        }
         if (hostAlive_[h])
             continue;
+        if (unswept) {
+            // Lease mode, lease not yet expired: the dead host's device
+            // state legitimately lingers until suspicion reclaims it.
+            continue;
+        }
         // A crashed host must leave no trace until it rejoins.
         if (pipm_)
             pipm_->checkNoHostReferences(static_cast<HostId>(h));
@@ -1776,6 +2090,13 @@ MultiHostSystem::checkInvariants() const
                 break;
             }
         }
+        if (scheme_ == Scheme::localOnly) {
+            // The Local-only ideal deliberately models no cross-host
+            // coherence (§5.1.3): every host fills shared lines in M, so
+            // SWMR and the poison/directory checks below do not apply.
+            // Only the dead-host check above is meaningful.
+            continue;
+        }
         panic_if(m_holders > 1, "SWMR violated: line ", line,
                  " exclusively cached at ", m_holders, " hosts");
         panic_if(m_holders == 1 && s_holders > 0,
@@ -1790,8 +2111,6 @@ MultiHostSystem::checkInvariants() const
             panic_if(deviceDir_.probe(line) != nullptr, "poisoned line ",
                      line, " has a device directory entry");
         }
-        if (scheme_ == Scheme::localOnly)
-            continue;
         const DirEntry *entry = deviceDir_.probe(line);
         if (pipm_) {
             const PageFrame page = pageOfLine(line);
@@ -1810,18 +2129,27 @@ MultiHostSystem::checkInvariants() const
         if (entry) {
             for (unsigned h = 0; h < cfg_.numHosts; ++h) {
                 panic_if(!hostAlive_[h] &&
-                             entry->has(static_cast<HostId>(h)),
+                             entry->has(static_cast<HostId>(h)) &&
+                             !(detection_ && needsReclaim_[h]),
                          "directory entry for line ", line,
                          " still lists dead host ", h);
             }
         }
         if (entry && entry->state == DevState::M) {
             const HostId owner = entry->owner(cfg_.numHosts);
-            panic_if(hosts_[owner].caches->stateOf(line) != HostState::M,
-                     "device-M line ", line, " not cached M at owner");
-            panic_if(entry->ownerEpoch != hostEpoch_[owner],
-                     "device-M line ", line, " stamped with stale epoch ",
-                     entry->ownerEpoch, " for host ", int(owner));
+            if (detection_ && needsReclaim_[owner]) {
+                // Dead-unswept owner: its cache is gone and its epoch
+                // already bumped; the entry survives (stale) until the
+                // suspicion sweep or the epoch backstop drops it.
+            } else {
+                panic_if(hosts_[owner].caches->stateOf(line) !=
+                             HostState::M,
+                         "device-M line ", line, " not cached M at owner");
+                panic_if(entry->ownerEpoch != hostEpoch_[owner],
+                         "device-M line ", line,
+                         " stamped with stale epoch ", entry->ownerEpoch,
+                         " for host ", int(owner));
+            }
         }
     }
 }

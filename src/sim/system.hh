@@ -24,6 +24,7 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
@@ -120,6 +121,34 @@ class MultiHostSystem
 
     /** Rejoin host h cold (empty caches/TLB/remap) under a new epoch. */
     void rejoinHost(HostId h, Cycles now);
+
+    // ---- Lease-based failure detection (DESIGN.md §11) ------------------
+
+    /**
+     * Suspect host h: the device stops trusting it and runs the crash
+     * reclamation path against its state. A host suspected while
+     * actually alive (gray failure) is *fenced*: its epoch is bumped so
+     * its stale requests are NACKed at the directory, its dirty cached
+     * lines are lost exactly as in a real crash, and it readmits through
+     * the cold-rejoin path after observing the fence. Normally driven by
+     * lease expiry or transaction-retry exhaustion inside tick()/access();
+     * public so tests can suspect hosts at exact protocol states. Only
+     * valid when the lease detector is configured (fault.leaseNs > 0).
+     */
+    void suspectHost(HostId h, Cycles now);
+
+    /** Whether the lease-based failure detector is active. */
+    bool detectionEnabled() const { return detection_; }
+
+    /**
+     * End of the gray-failure stall window covering `now` for host h, or
+     * 0 when the host is responsive. The runner parks a stalled host's
+     * cores until the window ends (or the lease fences the host first).
+     */
+    Cycles hostStalledUntil(HostId h, Cycles now) const;
+
+    /** Whether host h would answer a coherence request at `now`. */
+    bool hostResponsive(HostId h, Cycles now) const;
 
     /** Whether host h is currently alive. */
     bool hostAlive(HostId h) const { return hostAlive_[h]; }
@@ -328,6 +357,47 @@ class MultiHostSystem
     /** Epoch to stamp into a directory entry that becomes M-owned by h. */
     std::uint32_t epochOf(HostId h) const { return hostEpoch_[h]; }
 
+    /** Capture host h's dirty cached lines (pendingDirty_) and clear its
+     *  volatile state (caches, TLBs, remap cache, pending stalls). */
+    void flushHostVolatile(HostId h);
+
+    /**
+     * Reclaim every device-side structure referencing dead host h:
+     * directory sweep, PIPM remap reintegration, GIM demotion, with
+     * dirty-loss accounting against pendingDirty_[h]. In oracle mode
+     * this runs synchronously inside crashHost(); under the lease
+     * detector it is deferred until the host is suspected (or until its
+     * rejoin, whichever comes first).
+     */
+    void reclaimHost(HostId h, Cycles now);
+
+    // ---- Lease detection (DESIGN.md §11) ---------------------------------
+
+    /** Advance heartbeats, fire lease expiries, readmit fenced zombies. */
+    void advanceLeases(Cycles now);
+
+    /** When host t would answer a request sent at `now` (maxCycles:
+     *  never — the host is dead). */
+    Cycles respondsAt(HostId t, Cycles now) const;
+
+    /**
+     * Run the link-layer timeout/retry engine against target t. On
+     * abandonment (budget exhausted) counts the transaction and — when
+     * `suspect_on_fail` — suspects the target, which reclaims its device
+     * state; callers must then re-look-up any directory/remap state they
+     * hold. Fan-out acks pass suspect_on_fail = false: they charge the
+     * timeout latency but leave suspicion to the lease, so directory
+     * entry pointers held across the fan-out loop stay valid.
+     */
+    TxnAwait awaitHost(HostId t, Cycles now, bool suspect_on_fail);
+
+    /** Account a dirty line of a dead-unswept owner dropped outside the
+     *  reclaim sweep (directory recall or OS page flush). */
+    void noteDeadOwnedDrop(LineAddr line, const DirEntry &entry);
+
+    /** Record one lost dirty line (counter, lostLines_, poison policy). */
+    void noteLostLine(LineAddr line);
+
     // ---- OS migration ----------------------------------------------------
 
     void runEpoch(Cycles now);
@@ -360,6 +430,22 @@ class MultiHostSystem
     std::vector<std::uint32_t> hostEpoch_;    ///< even alive / odd crashed
     std::vector<Cycles> hostDownUntil_;       ///< rejoin time (0: alive)
     std::vector<LineAddr> lostLines_;         ///< dirty losses, in order
+
+    // ---- Lease detection (DESIGN.md §11) ---------------------------------
+    bool detection_ = false;        ///< fault.leaseNs > 0
+    Cycles leaseCycles_ = 0;
+    Cycles heartbeatCycles_ = 0;
+    Cycles readmitCycles_ = 0;
+    /** Host is dead but its device state has not been reclaimed yet. */
+    std::vector<std::uint8_t> needsReclaim_;
+    /** Device still trusts the host's lease (not suspected/fenced). */
+    std::vector<std::uint8_t> trusted_;
+    std::vector<Cycles> lastHeartbeat_;   ///< last renewal delivered
+    std::vector<Cycles> nextHeartbeat_;   ///< next renewal grid point
+    /** Fenced zombie readmission time (0: not a fenced zombie). */
+    std::vector<Cycles> zombieReadmitAt_;
+    /** Dirty values captured at death, awaiting the reclaim sweep. */
+    std::vector<std::unordered_map<LineAddr, std::uint64_t>> pendingDirty_;
 
     bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
     LatencyEstimates est_;

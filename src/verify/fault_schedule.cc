@@ -49,7 +49,7 @@ FaultCheckResult
 checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                     unsigned schedules,
                     std::uint64_t accesses_per_schedule, std::uint64_t seed,
-                    bool with_crashes)
+                    FaultCheckOptions opt)
 {
     FaultCheckResult res;
     res.schedules = schedules;
@@ -61,9 +61,10 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
     for (unsigned sched = 0; sched < schedules && res.violation.empty();
          ++sched) {
         SystemConfig fcfg = cfg;
-        fcfg.fault = with_crashes
-                         ? paperCrashFaultConfig(seed + 977 * (sched + 1))
-                         : paperFaultConfig(seed + 977 * (sched + 1));
+        const std::uint64_t fseed = seed + 977 * (sched + 1);
+        fcfg.fault = opt.withSuspicion ? paperSuspicionFaultConfig(fseed)
+                     : opt.withCrashes ? paperCrashFaultConfig(fseed)
+                                       : paperFaultConfig(fseed);
         DirectWorkload workload(shared_pages * pageBytes, 4 * pageBytes);
         Rng rng(seed * 0x51ed2701 + sched);
 
@@ -105,10 +106,25 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                         ? favoured
                         : static_cast<HostId>(
                               rng.range(0, fcfg.numHosts - 1));
-                // Crashed hosts issue nothing; rotate to the next alive
-                // host (the schedule never crashes the last one).
-                while (!system.hostAlive(h))
+                // Crashed hosts issue nothing, and a gray-failed host is
+                // stuck until its stall window ends; rotate to the next
+                // responsive host, jumping time forward when none is
+                // (bounded — stall windows and fences always end).
+                unsigned spins = 0;
+                unsigned jumps = 0;
+                while (!system.hostResponsive(h, now)) {
                     h = static_cast<HostId>((h + 1) % fcfg.numHosts);
+                    if (++spins >= fcfg.numHosts) {
+                        spins = 0;
+                        now += 256;
+                        system.tick(now);
+                        sync_lost();
+                        if (++jumps > 4'000'000) {
+                            panic("no host became responsive after ",
+                                  jumps, " time jumps");
+                        }
+                    }
+                }
                 const CoreId c = static_cast<CoreId>(
                     rng.range(0, fcfg.coresPerHost - 1));
                 const unsigned line =
@@ -124,9 +140,13 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 if (is_write) {
                     const std::uint64_t value = token++;
                     system.access(h, c, ref, now, value);
+                    // Retry exhaustion inside the access may have fenced
+                    // a host and lost lines; resync before recording.
+                    sync_lost();
                     oracle[{page, line}] = value;
                 } else {
                     const AccessResult r = system.access(h, c, ref, now);
+                    sync_lost();
                     auto it = oracle.find({page, line});
                     if (it != oracle.end() && r.data != it->second) {
                         res.violation = detail::concat(
@@ -156,6 +176,11 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 res.crashes += f->hostCrashes.value();
                 res.rejoins += f->hostRejoins.value();
                 res.linesLost += f->crashDirtyLinesLost.value();
+                res.suspicions += f->suspicions.value();
+                res.falseSuspicions += f->falseSuspicions.value();
+                res.fencedRequests += f->fencedRequests.value();
+                res.txnTimeouts += f->txnTimeouts.value();
+                res.txnRetries += f->txnRetries.value();
             }
         } catch (const SimError &e) {
             res.violation = detail::concat("schedule ", sched,

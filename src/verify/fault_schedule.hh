@@ -35,7 +35,34 @@ struct FaultCheckResult
     std::uint64_t crashes = 0;        ///< host fail-stop events processed
     std::uint64_t rejoins = 0;        ///< host cold rejoins processed
     std::uint64_t linesLost = 0;      ///< dirty lines lost across crashes
+    // Lease-detection mode (DESIGN.md §11) only:
+    std::uint64_t suspicions = 0;      ///< leases expired
+    std::uint64_t falseSuspicions = 0; ///< alive hosts fenced
+    std::uint64_t fencedRequests = 0;  ///< zombie requests NACKed
+    std::uint64_t txnTimeouts = 0;     ///< transaction attempts timed out
+    std::uint64_t txnRetries = 0;      ///< retries after a timeout
     std::string violation;            ///< empty when ok
+};
+
+/** What failure machinery the checker layers onto the base fault rates. */
+struct FaultCheckOptions
+{
+    /**
+     * Enable the host fail-stop crash/rejoin schedule
+     * (paperCrashFaultConfig). Accesses are only issued by currently-
+     * alive hosts, and a read must return either the last-writer oracle
+     * value or a stale value for a line the system explicitly reported
+     * lost (MultiHostSystem::lostLines()).
+     */
+    bool withCrashes = false;
+    /**
+     * Enable the lease-based failure detector plus gray-failure stall
+     * windows on top of the crash schedule (paperSuspicionFaultConfig).
+     * Crashed hosts are reclaimed only when suspected; stalled hosts may
+     * be falsely suspected and fenced, losing dirty lines like a real
+     * crash. Implies crash handling.
+     */
+    bool withSuspicion = false;
 };
 
 /**
@@ -47,17 +74,25 @@ struct FaultCheckResult
  *        paper-default fault rates, reseeded per schedule
  * @param scheme memory-management scheme under test
  * @param seed determinism seed for the access pattern and the schedules
- * @param with_crashes additionally enable the host fail-stop crash/rejoin
- *        schedule (paperCrashFaultConfig). Accesses are only issued by
- *        currently-alive hosts, and a read must return either the
- *        last-writer oracle value or a stale value for a line the system
- *        explicitly reported lost (MultiHostSystem::lostLines()).
+ * @param opt which failure machinery to enable (see FaultCheckOptions)
  */
 FaultCheckResult checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                                      unsigned schedules,
                                      std::uint64_t accesses_per_schedule,
-                                     std::uint64_t seed = 1,
-                                     bool with_crashes = false);
+                                     std::uint64_t seed,
+                                     FaultCheckOptions opt);
+
+/** Back-compat overload: `with_crashes` maps to FaultCheckOptions. */
+inline FaultCheckResult
+checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
+                    unsigned schedules,
+                    std::uint64_t accesses_per_schedule,
+                    std::uint64_t seed = 1, bool with_crashes = false)
+{
+    return checkFaultSchedules(cfg, scheme, schedules,
+                               accesses_per_schedule, seed,
+                               FaultCheckOptions{with_crashes, false});
+}
 
 } // namespace pipm
 

@@ -309,6 +309,36 @@ TEST(CrashSweep, PoisonPolicyPoisonsLostLines)
 
 // ---- Remap-state recovery ----------------------------------------------
 
+TEST(CrashSweep, LocalOnlyIdealExemptFromSwmrCheck)
+{
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults();
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem system(cfg, Scheme::localOnly, wl, 1);
+
+    // The Local-only ideal models no cross-host coherence: both hosts
+    // fill the same shared line exclusively in their own hierarchies.
+    Cycles now = 0;
+    system.access(0, 0, sharedRef(0, 0, MemOp::write), now, 7);
+    system.access(1, 0, sharedRef(0, 0, MemOp::write), now, 9);
+    const LineAddr line = homeLine(system, 0, 0);
+    EXPECT_NE(system.hierarchy(0).stateOf(line), HostState::I);
+    EXPECT_NE(system.hierarchy(1).stateOf(line), HostState::I);
+
+    // The invariant checker must not apply SWMR to the idealisation
+    // (it used to panic here the first time a crash event ran under
+    // localOnly with a multiply-cached line).
+    EXPECT_NO_THROW(system.checkInvariants());
+    now += 1'000;
+    EXPECT_NO_THROW(system.crashHost(1, now));
+
+    // The dead-host check still applies: host 1's caches were flushed.
+    EXPECT_EQ(system.hierarchy(1).stateOf(line), HostState::I);
+    now += 1'000;
+    EXPECT_NO_THROW(system.rejoinHost(1, now));
+}
+
 TEST(CrashRemap, InFlightPromotionAborted)
 {
     ThrowOnErrorGuard guard;
@@ -459,6 +489,49 @@ TEST(CrashRejoin, ColdStructuresAndStaleEpochRejection)
     EXPECT_EQ(r2.data, warm_home);
 }
 
+TEST(CrashRejoin, RejoinBeforeSuspicionReclaimsFirst)
+{
+    // Under the lease detector (DESIGN.md §11) a crash is reclaimed
+    // lazily. A host whose outage is shorter than its lease must still
+    // not readmit over its own stale directory state: rejoin forces the
+    // deferred reclamation (counting the suspicion) before coming back.
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults();
+    cfg.fault.leaseNs = 20'000.0;
+    cfg.fault.heartbeatIntervalNs = 4'000.0;
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem system(cfg, Scheme::native, wl, 1);
+    ASSERT_TRUE(system.detectionEnabled());
+
+    Cycles now = 0;
+    system.access(1, 0, sharedRef(2, 3, MemOp::write), now, 42);
+    const LineAddr line = homeLine(system, 2, 3);
+
+    now += 1'000;
+    system.crashHost(1, now, now + 5'000);   // outage << 80k-cycle lease
+    // Deferred: the dead host's M entry is still in the directory.
+    ASSERT_NE(system.deviceDirectory().probe(line), nullptr);
+    EXPECT_TRUE(system.lostLines().empty());
+
+    now += 5'000;
+    system.rejoinHost(1, now);
+    EXPECT_TRUE(system.hostAlive(1));
+    EXPECT_EQ(system.hostEpoch(1), 2u);
+    // The rejoin swept the old state first and accounted the loss.
+    EXPECT_EQ(system.faultInjector()->suspicions.value(), 1u);
+    EXPECT_EQ(system.faultInjector()->falseSuspicions.value(), 0u);
+    EXPECT_EQ(system.deviceDirectory().probe(line), nullptr);
+    ASSERT_EQ(system.lostLines().size(), 1u);
+    EXPECT_EQ(system.lostLines()[0], line);
+    system.checkInvariants();
+
+    // The readmitted host reads back the stale surviving copy.
+    const AccessResult r = system.access(
+        1, 0, sharedRef(2, 3, MemOp::read), now + 1'000);
+    EXPECT_EQ(r.data, system.memory().read(line));
+}
+
 // ---- Full-run behaviour -------------------------------------------------
 
 TEST(CrashRun, ZeroCrashRateBitIdenticalToFaultOnlyConfig)
@@ -546,6 +619,32 @@ TEST(CrashAcceptance, EnvKnobRunsPeriodicInvariantChecks)
                                       shortRun());
     unsetenv("PIPM_CHECK_INVARIANTS");
     EXPECT_GT(r.hostCrashes, 0u);
+}
+
+TEST(CrashAcceptance, CombinedFailureClassesUnderInvariantChecks)
+{
+    // Crashes, gray-failure stalls, lease detection, poison and link
+    // faults all at once, with the periodic cross-structure invariant
+    // checks armed: the run must complete clean and replay bit-for-bit.
+    SystemConfig cfg = testConfig();
+    cfg.fault = paperSuspicionFaultConfig(9);
+    cfg.fault.poisonRate = 0.01;
+    cfg.fault.crashMeanIntervalNs = 200'000.0;
+    cfg.fault.crashRejoinNs = 50'000.0;
+
+    setenv("PIPM_CHECK_INVARIANTS", "2048", 1);
+    auto wl = smallWorkload();
+    const RunResult a = runExperiment(cfg, Scheme::pipmFull, *wl,
+                                      shortRun());
+    const RunResult b = runExperiment(cfg, Scheme::pipmFull, *wl,
+                                      shortRun());
+    unsetenv("PIPM_CHECK_INVARIANTS");
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.suspicions, b.suspicions);
+    EXPECT_EQ(a.falseSuspicions, b.falseSuspicions);
+    EXPECT_EQ(a.txnRetries, b.txnRetries);
+    EXPECT_EQ(a.stallWindows, b.stallWindows);
+    EXPECT_GT(a.linkCrcErrors, 0u);
 }
 
 } // namespace
