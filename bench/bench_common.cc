@@ -216,12 +216,17 @@ applyEnvFaults(SystemConfig &cfg)
     // "crash" (or "2") additionally enables the host fail-stop crash and
     // rejoin schedule; "suspect" (or "3") layers the lease-based failure
     // detector, gray-failure stall windows and transaction retries on
-    // top of that (DESIGN.md §11); any other value keeps the original
+    // top of that (DESIGN.md §11); "meta" (or "4") layers the
+    // device-metadata corruption schedule — scrub-and-repair, journal
+    // replay, degraded fallback and the migration circuit breaker — on
+    // the base rates (DESIGN.md §12); any other value keeps the original
     // fault-only schedule bit-identical to what it produced before
     // crashes existed.
     const std::string mode(v);
     const std::uint64_t fseed = envU64("PIPM_BENCH_SEED", 42);
-    cfg.fault = (mode == "suspect" || mode == "3")
+    cfg.fault = (mode == "meta" || mode == "4")
+                    ? paperMetaFaultConfig(fseed)
+                : (mode == "suspect" || mode == "3")
                     ? paperSuspicionFaultConfig(fseed)
                 : (mode == "crash" || mode == "2")
                     ? paperCrashFaultConfig(fseed)

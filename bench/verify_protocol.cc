@@ -8,6 +8,7 @@
  * state space.
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "common/config.hh"
@@ -16,10 +17,39 @@
 #include "verify/fault_schedule.hh"
 #include "verify/multiline_model.hh"
 
+namespace
+{
+
+void
+usage(std::ostream &os)
+{
+    os << "usage: verify_protocol [--help]\n"
+          "\n"
+          "Exhaustive explicit-state checking of the PIPM coherence\n"
+          "protocol (single-line 2-4 hosts, two-line page model 2-3\n"
+          "hosts) plus randomised fault-schedule checking of the full\n"
+          "system. Takes no other arguments; exits 0 when every check\n"
+          "is SAFE, 1 on a violation.\n";
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     using namespace pipm;
+
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--help") == 0 ||
+            std::strcmp(argv[i], "-h") == 0) {
+            usage(std::cout);
+            return 0;
+        }
+        std::cerr << "verify_protocol: unknown argument '" << argv[i]
+                  << "'\n";
+        usage(std::cerr);
+        return 2;
+    }
 
     TablePrinter table("Protocol verification (Murphi-analog explicit-"
                        "state checking)");

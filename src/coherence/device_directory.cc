@@ -55,6 +55,10 @@ DeviceDirectory::allocate(LineAddr line, DirEntry entry)
     if (!victim)
         return std::nullopt;
     recalls.inc();
+    // The victim's metadata word is dropped with the entry; an
+    // outstanding corruption of it is moot (the recall below works on
+    // the checksum-protected image we hand back).
+    clearCorruption(victim->key);
     if (trace_ && trace_->lineWatched(victim->key)) {
         trace_->record(ObsEventType::dirDeallocate, lastNow_, victim->key,
                        invalidHost,
@@ -69,12 +73,30 @@ DeviceDirectory::deallocate(LineAddr line)
     auto e = entries_.invalidate(line);
     if (!e)
         return std::nullopt;
+    clearCorruption(line);
     if (trace_ && trace_->lineWatched(line)) {
         trace_->record(ObsEventType::dirDeallocate, lastNow_, line,
                        invalidHost,
                        static_cast<std::uint32_t>(e->meta.state));
     }
     return e->meta;
+}
+
+bool
+DeviceDirectory::corruptEntry(LineAddr line, std::uint64_t bits,
+                              bool shadow_hit)
+{
+    if (!entries_.probe(line) || entryCorrupted(line))
+        return false;
+    corrupt_[line] = MetaCorruption{bits, shadow_hit};
+    return true;
+}
+
+const DeviceDirectory::MetaCorruption *
+DeviceDirectory::corruptionOf(LineAddr line) const
+{
+    const auto it = corrupt_.find(line);
+    return it == corrupt_.end() ? nullptr : &it->second;
 }
 
 void

@@ -26,6 +26,7 @@
 #include "cache/set_assoc.hh"
 #include "coherence/state.hh"
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "obs/trace.hh"
@@ -111,6 +112,53 @@ class DeviceDirectory
     void forEach(
         const std::function<void(LineAddr, const DirEntry &)> &fn) const;
 
+    // ---- Metadata fault domain (DESIGN.md §12) ---------------------------
+    //
+    // A corruption event flips bits in an entry's stored image. Every
+    // directory read validates the entry against its per-entry shadow
+    // checksum, so corrupted metadata is never *consumed*: the entry is
+    // quarantined (the corruption record below) until the scrubber or
+    // the faulting demand access rebuilds it — by probing the sharer
+    // hosts when the checksum survives, or by the degraded fallback when
+    // the fault spans the checksum too. The simulator therefore keeps
+    // the pristine image in place and tracks the corruption beside it;
+    // what it models is the detection, the repair traffic/latency and
+    // the fallback, which is all a checksum-validated directory exposes.
+
+    /** Outstanding corruption of one entry's stored image. */
+    struct MetaCorruption
+    {
+        std::uint64_t bits = 0;   ///< bit-flip mask the fault applied
+        bool shadowHit = false;   ///< checksum also hit: unrepairable
+    };
+
+    /**
+     * Quarantine the entry for `line` as corrupted.
+     * @return false when the line is untracked (nothing to corrupt) or
+     *         already quarantined
+     */
+    bool corruptEntry(LineAddr line, std::uint64_t bits, bool shadow_hit);
+
+    /** Whether the entry for `line` is quarantined. */
+    bool entryCorrupted(LineAddr line) const
+    {
+        return !corrupt_.empty() && corrupt_.contains(line);
+    }
+
+    /** The corruption record, or nullptr when not quarantined. */
+    const MetaCorruption *corruptionOf(LineAddr line) const;
+
+    /** The entry was rebuilt (or dropped): lift the quarantine. */
+    void clearCorruption(LineAddr line) { corrupt_.erase(line); }
+
+    /** Quarantined lines in address order (deterministic scrub walk). */
+    std::vector<LineAddr> corruptedLines() const
+    {
+        return corrupt_.sortedKeys();
+    }
+
+    std::size_t corruptedCount() const { return corrupt_.size(); }
+
     /**
      * Attach an event trace (nullptr: detach). Allocations and
      * deallocations of watched lines are recorded; the timestamp is the
@@ -131,6 +179,7 @@ class DeviceDirectory
     Cycles serviceCycles_;
     std::vector<Cycles> sliceBusyUntil_;
     SetAssoc<DirEntry> entries_;
+    FlatMap<LineAddr, MetaCorruption> corrupt_;   ///< quarantined entries
     ObsTrace *trace_ = nullptr;
     Cycles lastNow_ = 0;   ///< clock of the last accessLatency()
     StatGroup stats_;

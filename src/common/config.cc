@@ -95,6 +95,45 @@ FaultConfig::validate() const
     fatal_if(stallMaxEvents > 4096,
              "fault.stallMaxEvents above 4096 is not a stall schedule, "
              "it is a denial of service");
+    fatal_if(metaCorruptMeanIntervalNs < 0.0,
+             "fault.metaCorruptMeanIntervalNs must be non-negative");
+    fatal_if(!inUnit(metaShadowHitFrac),
+             "fault.metaShadowHitFrac must be in [0,1], got ",
+             metaShadowHitFrac);
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaCorruptMaxEvents == 0,
+             "fault.metaCorruptMaxEvents must be positive when metadata "
+             "corruption is on");
+    fatal_if(metaCorruptMaxEvents > 4096,
+             "fault.metaCorruptMaxEvents above 4096 is not a corruption "
+             "schedule, it is a denial of service");
+    fatal_if(metaJournalPages > 4096,
+             "fault.metaJournalPages above 4096 is not a journal, it is "
+             "an unbounded log");
+    fatal_if(metaScrubIntervalNs < 0.0,
+             "fault.metaScrubIntervalNs must be non-negative");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaScrubIntervalNs <= 0.0,
+             "fault.metaScrubIntervalNs must be positive when metadata "
+             "corruption is on: corruption that is never scrubbed never "
+             "heals");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaScrubBudget == 0,
+             "fault.metaScrubBudget must be positive when metadata "
+             "corruption is on");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaBreakerThreshold == 0,
+             "fault.metaBreakerThreshold must be positive when metadata "
+             "corruption is on");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaBreakerWindowNs <= 0.0,
+             "fault.metaBreakerWindowNs must be positive when metadata "
+             "corruption is on");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 &&
+                 metaBreakerCooldownNs <= 0.0,
+             "fault.metaBreakerCooldownNs must be positive when metadata "
+             "corruption is on");
+    fatal_if(metaBreakerMaxExp > 20,
+             "fault.metaBreakerMaxExp above 20 overflows any realistic "
+             "run");
+    fatal_if(metaCorruptMeanIntervalNs > 0.0 && metaBreakerGroupPages == 0,
+             "fault.metaBreakerGroupPages must be positive when metadata "
+             "corruption is on");
     fatal_if(backoffWindow == 0, "fault.backoffWindow must be positive");
     fatal_if(backoffBaseNs < 0.0,
              "fault.backoffBaseNs must be non-negative");
@@ -209,6 +248,22 @@ SystemConfig::measurementKey() const
                << ',' << fault.readmitDelayNs << ','
                << fault.stallMeanIntervalNs << ',' << fault.stallWindowNs
                << ',' << fault.stallMaxEvents;
+        }
+        if (fault.metaCorruptMeanIntervalNs > 0.0) {
+            // Appended only when metadata corruption is on, keeping
+            // corruption-free keys identical to what they were before the
+            // device-metadata fault domain existed.
+            os << ",meta:" << fault.metaCorruptMeanIntervalNs << ','
+               << fault.metaCorruptMaxEvents << ','
+               << fault.metaShadowHitFrac << ','
+               << fault.metaJournalPages << ','
+               << fault.metaScrubIntervalNs << ','
+               << fault.metaScrubBudget << ','
+               << fault.metaBreakerThreshold << ','
+               << fault.metaBreakerWindowNs << ','
+               << fault.metaBreakerCooldownNs << ','
+               << fault.metaBreakerMaxExp << ','
+               << fault.metaBreakerGroupPages;
         }
     }
     return os.str();
@@ -331,6 +386,24 @@ paperSuspicionFaultConfig(std::uint64_t seed, double lease_ns,
     // the rest expire the lease and fence the (alive) host.
     f.stallWindowNs = 1.5 * lease_ns;
     f.validate();
+    return f;
+}
+
+void
+addPaperMetaFaults(FaultConfig &fault, double mean_interval_ns)
+{
+    fault.metaCorruptMeanIntervalNs = mean_interval_ns;
+    // Member defaults for the remaining §12 knobs (shadow-hit fraction,
+    // journal capacity, scrub cadence/budget, breaker shape) are the
+    // paper configuration; only the event rate is a parameter.
+    fault.validate();
+}
+
+FaultConfig
+paperMetaFaultConfig(std::uint64_t seed, double mean_interval_ns)
+{
+    FaultConfig f = paperFaultConfig(seed);
+    addPaperMetaFaults(f, mean_interval_ns);
     return f;
 }
 

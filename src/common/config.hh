@@ -257,6 +257,46 @@ struct FaultConfig
     /** Upper bound on generated stall windows per run. */
     unsigned stallMaxEvents = 64;
 
+    /**
+     * Mean interval between device *metadata* corruption events
+     * (DESIGN.md §12); 0 disables the metadata fault domain entirely.
+     * Each event flips bits in one directory entry or one PIPM remap
+     * entry. Events are pre-generated on a separate "meta-ev" RNG
+     * stream (like the crash and stall schedules), so enabling them
+     * leaves the crash/link/poison/stall schedules bit-identical.
+     */
+    double metaCorruptMeanIntervalNs = 0.0;
+    /** Upper bound on generated metadata corruption events per run. */
+    unsigned metaCorruptMaxEvents = 256;
+    /** Fraction of corruption events that also span the per-entry
+     *  shadow checksum, making the entry unrepairable by scrubbing:
+     *  directory entries fall back to the degraded uncacheable path,
+     *  remap entries are replayed from the journal or force-reclaimed. */
+    double metaShadowHitFrac = 0.25;
+    /** Capacity (in pages) of the migration-metadata redo journal that
+     *  backstops shadow-checksum hits on remap entries; 0 disables the
+     *  journal (every shadow hit on a remap entry force-reclaims). */
+    unsigned metaJournalPages = 16;
+    /** Period of the device-side metadata scrubber; must be positive
+     *  whenever corruption is enabled (corruption that is never
+     *  scrubbed never heals). */
+    double metaScrubIntervalNs = 25'000.0;
+    /** Max quarantined entries one scrub pass repairs. */
+    unsigned metaScrubBudget = 64;
+
+    /** Repairs within one window that trip a page group's migration
+     *  circuit breaker (graceful degradation, DESIGN.md §12.4). */
+    unsigned metaBreakerThreshold = 2;
+    /** Length of the breaker's strike-counting window. */
+    double metaBreakerWindowNs = 50'000.0;
+    /** Open-state cool-down before the breaker half-opens; doubles per
+     *  consecutive trip up to metaBreakerMaxExp. */
+    double metaBreakerCooldownNs = 100'000.0;
+    /** Cap on the cool-down exponent. */
+    unsigned metaBreakerMaxExp = 4;
+    /** Pages per circuit-breaker group. */
+    unsigned metaBreakerGroupPages = 8;
+
     /** Link messages per error-rate observation window. */
     std::uint64_t backoffWindow = 512;
     /** Observed error rate above which migrations back off. */
@@ -496,6 +536,25 @@ FaultConfig paperSuspicionFaultConfig(std::uint64_t seed = 1,
                                       double lease_ns = 20'000.0,
                                       double stall_mean_interval_ns =
                                           120'000.0);
+
+/**
+ * Layer the paper-default device-metadata fault domain (DESIGN.md §12)
+ * onto an existing fault schedule: periodic directory/remap corruption
+ * with scrub-and-repair, a redo journal for migration metadata, and the
+ * per-page-group migration circuit breaker. Exists as a separate helper
+ * so the verifiers can combine metadata faults with the crash and
+ * suspicion schedules.
+ */
+void addPaperMetaFaults(FaultConfig &fault,
+                        double mean_interval_ns = 4'000.0);
+
+/**
+ * The paper-default fault schedule plus device-metadata corruption.
+ * Used by the metadata-schedule verifier and the PIPM_BENCH_FAULTS=meta
+ * bench mode.
+ */
+FaultConfig paperMetaFaultConfig(std::uint64_t seed = 1,
+                                 double mean_interval_ns = 4'000.0);
 
 } // namespace pipm
 

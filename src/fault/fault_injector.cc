@@ -104,8 +104,146 @@ FaultInjector::FaultInjector(const FaultConfig &cfg, unsigned num_hosts,
         stats_.addCounter(&stallWindowsEntered, "stall_windows",
                           "gray-failure stall windows entered");
     }
+    if (cfg.metaCorruptMeanIntervalNs > 0.0) {
+        // Registered only when the metadata fault domain is on, so
+        // corruption-off stats.json exports stay byte-identical to the
+        // pre-§12 counter set.
+        stats_.addCounter(&metaCorruptions, "meta_corruptions",
+                          "metadata corruption events applied");
+        stats_.addCounter(&metaCorruptSkipped, "meta_corrupt_skipped",
+                          "corruption events that found no victim entry");
+        stats_.addCounter(&metaScrubChecks, "meta_scrub_checks",
+                          "quarantined metadata entries validated");
+        stats_.addCounter(&metaScrubRepairs, "meta_scrub_repairs",
+                          "metadata entries rebuilt from host state");
+        stats_.addCounter(&metaJournalReplays, "meta_journal_replays",
+                          "remap entries replayed from the redo journal");
+        stats_.addCounter(&metaUnrepairable, "meta_unrepairable",
+                          "shadow-checksum hits degraded or reclaimed");
+        stats_.addCounter(&metaBreakerTrips, "meta_breaker_trips",
+                          "migration circuit breakers opened");
+        stats_.addCounter(&metaBreakerHalfOpens, "meta_breaker_half_opens",
+                          "migration breakers half-opened after cool-down");
+        breakerWindow_ = nsToCycles(cfg.metaBreakerWindowNs);
+        breakerCooldown_ = nsToCycles(cfg.metaBreakerCooldownNs);
+    }
     generateCrashSchedule();
     generateStallSchedule();
+    generateMetaSchedule();
+}
+
+void
+FaultInjector::generateMetaSchedule()
+{
+    if (cfg_.metaCorruptMeanIntervalNs <= 0.0)
+        return;
+    // A dedicated "meta-ev" stream (like the crash and stall schedules):
+    // enabling metadata corruption must not move any other fault draw.
+    Rng mrng(seed_ ^ 0x6d6574612d6576ull);
+    const Cycles mean = nsToCycles(cfg_.metaCorruptMeanIntervalNs);
+
+    Cycles t = 0;
+    for (unsigned k = 0; k < cfg_.metaCorruptMaxEvents; ++k) {
+        // Uniform spacing in [0.5, 1.5] x mean, matching the crash and
+        // stall spacing law.
+        t += mean / 2 + mrng.range(0, mean > 0 ? mean : 1);
+        MetaCorruptEvent ev;
+        ev.at = t;
+        ev.pick = mrng.next();
+        ev.bits = mrng.next() | 1;   // at least one bit flips
+        ev.remapTarget = mrng.chance(0.5);
+        ev.shadowHit = mrng.chance(cfg_.metaShadowHitFrac);
+        metaSchedule_.push_back(ev);
+    }
+}
+
+const MetaCorruptEvent *
+FaultInjector::nextMetaCorruptEvent(Cycles now)
+{
+    if (metaCursor_ >= metaSchedule_.size())
+        return nullptr;
+    const MetaCorruptEvent &ev = metaSchedule_[metaCursor_];
+    if (ev.at > now)
+        return nullptr;
+    ++metaCursor_;
+    return &ev;
+}
+
+void
+FaultInjector::noteMetaRepair(PageFrame page, Cycles now)
+{
+    const std::uint64_t g = page / cfg_.metaBreakerGroupPages;
+    Breaker &b = breakers_[g];
+    if (now - b.windowStart > breakerWindow_) {
+        b.strikes = 0;
+        b.windowStart = now;
+    }
+    if (b.open)
+        return;   // already shedding; further strikes change nothing
+    ++b.strikes;
+    if (b.strikes >= cfg_.metaBreakerThreshold) {
+        b.open = true;
+        b.openUntil = now + breakerCooldown_ * (Cycles{1} << b.exp);
+        if (b.exp < cfg_.metaBreakerMaxExp)
+            ++b.exp;
+        b.strikes = 0;
+        if (!b.hot) {
+            b.hot = true;
+            hotBreakers_.push_back(g);
+        }
+        metaBreakerTrips.inc();
+        if (trace_) {
+            trace_->record(ObsEventType::breakerTrip, now,
+                           g * cfg_.metaBreakerGroupPages, invalidHost,
+                           b.exp);
+        }
+    }
+}
+
+bool
+FaultInjector::migrationShed(PageFrame page, Cycles now) const
+{
+    if (breakers_.empty())
+        return false;
+    const auto it = breakers_.find(page / cfg_.metaBreakerGroupPages);
+    return it != breakers_.end() && it->second.open &&
+           now < it->second.openUntil;
+}
+
+void
+FaultInjector::advanceBreakers(Cycles now)
+{
+    for (std::size_t i = 0; i < hotBreakers_.size();) {
+        const std::uint64_t g = hotBreakers_[i];
+        Breaker &b = breakers_.find(g)->second;
+        if (b.open && now >= b.openUntil) {
+            // Cool-down elapsed: half-open. Demand traffic was never
+            // blocked; migrations resume on probation.
+            b.open = false;
+            b.halfOpenAt = now;
+            b.strikes = 0;
+            b.windowStart = now;
+            metaBreakerHalfOpens.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::breakerHalfOpen, now,
+                               g * cfg_.metaBreakerGroupPages, invalidHost,
+                               b.exp);
+            }
+        }
+        if (!b.open && b.exp > 0 && b.strikes == 0 &&
+            now >= b.halfOpenAt + breakerWindow_) {
+            // A full clean window on probation: forget the trip history
+            // so the next trip starts from the base cool-down again.
+            b.exp = 0;
+        }
+        if (!b.open && b.exp == 0) {
+            b.hot = false;
+            hotBreakers_[i] = hotBreakers_.back();
+            hotBreakers_.pop_back();
+        } else {
+            ++i;
+        }
+    }
 }
 
 void

@@ -72,6 +72,21 @@ enum class PoisonState : std::uint8_t
     persistentPoison   ///< uncacheable; degraded path forever
 };
 
+/**
+ * One scheduled device-metadata corruption event (DESIGN.md §12). The
+ * injector owns only the schedule; the system layer picks the concrete
+ * victim entry (directory or remap) deterministically from `pick` and
+ * quarantines it until the scrubber or a demand access repairs it.
+ */
+struct MetaCorruptEvent
+{
+    Cycles at = 0;              ///< when the corruption lands
+    std::uint64_t pick = 0;     ///< victim-selection draw
+    std::uint64_t bits = 0;     ///< non-zero bit-flip mask
+    bool remapTarget = false;   ///< false: directory entry, true: remap
+    bool shadowHit = false;     ///< also spans the shadow checksum
+};
+
 /** One scheduled host fail-stop or rejoin event. */
 struct CrashEvent
 {
@@ -186,6 +201,42 @@ class FaultInjector
         return stallWindows_[h];
     }
 
+    // ---- Device-metadata corruption (DESIGN.md §12) ----------------------
+
+    /**
+     * The next scheduled metadata corruption event due at or before
+     * `now`, or nullptr. Each event is returned exactly once, in time
+     * order; the caller (MultiHostSystem::tick) picks the victim entry
+     * and applies the corruption.
+     */
+    const MetaCorruptEvent *nextMetaCorruptEvent(Cycles now);
+
+    /** The full pre-generated corruption schedule (tests and tools). */
+    const std::vector<MetaCorruptEvent> &metaCorruptSchedule() const
+    {
+        return metaSchedule_;
+    }
+
+    /**
+     * Feed the per-page-group migration circuit breaker one
+     * repair/quarantine event. Enough strikes inside one window open the
+     * breaker: migrations of pages in the group are shed until the
+     * cool-down (which doubles per consecutive trip) elapses and the
+     * breaker half-opens.
+     */
+    void noteMetaRepair(PageFrame page, Cycles now);
+
+    /** Whether page's group breaker is open (migration shed). */
+    bool migrationShed(PageFrame page, Cycles now) const;
+
+    /**
+     * Advance breaker state to `now`: open breakers whose cool-down
+     * elapsed half-open (counted and traced), and a breaker that stays
+     * clean for a full window after half-opening forgets its trip
+     * history (the cool-down exponent resets).
+     */
+    void advanceBreakers(Cycles now);
+
     // ---- Detection-layer helpers -----------------------------------------
 
     /** The fault configuration the injector was built with. */
@@ -269,6 +320,19 @@ class FaultInjector
     Counter txnAbandoned;        ///< transactions given up after retries
     Counter stallWindowsEntered; ///< gray-failure stall windows entered
 
+    // Device-metadata fault domain (DESIGN.md §12; mostly filled in by
+    // the system layer). Registered with the stat group only when
+    // metadata corruption is configured, so corruption-off stats.json
+    // exports keep their pre-§12 counter set.
+    Counter metaCorruptions;     ///< corruption events applied to an entry
+    Counter metaCorruptSkipped;  ///< events that found no entry to corrupt
+    Counter metaScrubChecks;     ///< quarantined entries validated
+    Counter metaScrubRepairs;    ///< entries rebuilt from host state
+    Counter metaJournalReplays;  ///< remap entries replayed from the journal
+    Counter metaUnrepairable;    ///< shadow hits: degraded/force-reclaimed
+    Counter metaBreakerTrips;    ///< migration circuit breakers opened
+    Counter metaBreakerHalfOpens;///< breakers half-opened after cool-down
+
   private:
     FaultConfig cfg_;
     unsigned numHosts_;
@@ -300,6 +364,28 @@ class FaultInjector
     std::vector<std::vector<std::pair<Cycles, Cycles>>> stallWindows_;
     /** Per-host 1 + index of the last window counted (0: none yet). */
     std::vector<std::size_t> stallCounted_;
+
+    /** Generate the metadata corruption schedule (constructor helper). */
+    void generateMetaSchedule();
+
+    std::vector<MetaCorruptEvent> metaSchedule_;   ///< sorted by time
+    std::size_t metaCursor_ = 0;
+
+    /** Per-page-group migration circuit breaker (DESIGN.md §12.4). */
+    struct Breaker
+    {
+        unsigned strikes = 0;       ///< repairs seen in the current window
+        Cycles windowStart = 0;     ///< start of the strike window
+        Cycles openUntil = 0;       ///< when an open breaker half-opens
+        Cycles halfOpenAt = 0;      ///< when the breaker last half-opened
+        unsigned exp = 0;           ///< consecutive-trip cool-down exponent
+        bool open = false;          ///< migrations currently shed
+        bool hot = false;           ///< on the advanceBreakers work list
+    };
+    FlatMap<std::uint64_t, Breaker> breakers_;
+    std::vector<std::uint64_t> hotBreakers_;   ///< groups needing advance
+    Cycles breakerWindow_ = 0;
+    Cycles breakerCooldown_ = 0;
 
     ObsTrace *trace_ = nullptr;
 

@@ -28,6 +28,12 @@ toString(ObsEventType t)
       case ObsEventType::fencedRequest: return "fenced_request";
       case ObsEventType::txnRetry: return "txn_retry";
       case ObsEventType::stallWindow: return "stall_window";
+      case ObsEventType::metaCorruption: return "meta_corruption";
+      case ObsEventType::scrubRepair: return "scrub_repair";
+      case ObsEventType::scrubUnrepairable: return "scrub_unrepairable";
+      case ObsEventType::journalReplay: return "journal_replay";
+      case ObsEventType::breakerTrip: return "breaker_trip";
+      case ObsEventType::breakerHalfOpen: return "breaker_half_open";
     }
     return "unknown";
 }

@@ -54,6 +54,12 @@ enum class ObsEventType : std::uint8_t
     fencedRequest,        ///< zombie `host`'s stale request NACKed
     txnRetry,             ///< transaction retry by `host` (aux = attempt)
     stallWindow,          ///< gray-failure stall of `host` (aux = cycles left)
+    metaCorruption,       ///< metadata corrupted (aux = 1 if shadow hit)
+    scrubRepair,          ///< scrubber rebuilt a quarantined entry
+    scrubUnrepairable,    ///< shadow hit: degraded fallback / force-reclaim
+    journalReplay,        ///< remap entry replayed from the redo journal
+    breakerTrip,          ///< migration breaker opened (addr = group base)
+    breakerHalfOpen,      ///< migration breaker half-opened after cool-down
 };
 
 /** Stable lowercase name used in stats.json and reports. */

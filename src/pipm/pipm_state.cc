@@ -1,5 +1,6 @@
 #include "pipm/pipm_state.hh"
 
+#include <algorithm>
 #include <bit>
 
 #include "common/logging.hh"
@@ -20,6 +21,7 @@ PipmState::PipmState(const PipmConfig &cfg, unsigned num_hosts,
           static_cast<std::uint8_t>((1u << cfg.localCounterBits) - 1)),
       local_(num_hosts),
       linesOn_(num_hosts, 0),
+      corrupt_(num_hosts),
       stats_("pipm")
 {
     stats_.addCounter(&promotions, "promotions",
@@ -127,6 +129,7 @@ PipmState::installLocalEntry(HostId h, PageFrame cxl_page)
         std::min<unsigned>(cfg_.migrationThreshold, localCounterMax_));
     entry.lineBitmap = 0;
     local_[h].emplace(cxl_page, entry);
+    journalTouch(h, cxl_page);
     promotions.inc();
     return true;
 }
@@ -224,6 +227,7 @@ PipmState::setLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx)
              cxl_page, " already migrated");
     it->second.lineBitmap |= bit;
     ++linesOn_[h];
+    journalTouch(h, cxl_page);
     linesIn.inc();
 }
 
@@ -237,6 +241,7 @@ PipmState::clearLineMigrated(HostId h, PageFrame cxl_page, unsigned line_idx)
              cxl_page, " is not migrated");
     it->second.lineBitmap &= ~bit;
     --linesOn_[h];
+    journalTouch(h, cxl_page);
     linesBack.inc();
 }
 
@@ -251,6 +256,8 @@ PipmState::revoke(HostId h, PageFrame cxl_page)
     revocationLines.sample(static_cast<std::uint64_t>(std::popcount(bitmap)));
     space_.freePipmFrame(h, it->second.localPfn);
     local_[h].erase(it);
+    journalDrop(h, cxl_page);
+    clearCorruption(h, cxl_page);
 
     auto git = global_.find(cxl_page);
     panic_if(git == global_.end(), "revoked page has no global entry");
@@ -273,6 +280,8 @@ PipmState::abortPromotion(HostId h, PageFrame cxl_page)
              " after lines already migrated");
     space_.freePipmFrame(h, it->second.localPfn);
     local_[h].erase(it);
+    journalDrop(h, cxl_page);
+    clearCorruption(h, cxl_page);
 
     auto git = global_.find(cxl_page);
     panic_if(git == global_.end(),
@@ -292,6 +301,8 @@ PipmState::crashReclaimPage(HostId h, PageFrame cxl_page)
     linesOn_[h] -= static_cast<std::uint64_t>(std::popcount(bitmap));
     space_.freePipmFrame(h, it->second.localPfn);
     local_[h].erase(it);
+    journalDrop(h, cxl_page);
+    clearCorruption(h, cxl_page);
 
     auto git = global_.find(cxl_page);
     panic_if(git == global_.end(),
@@ -324,6 +335,84 @@ PipmState::checkNoHostReferences(HostId h) const
         panic_if(g.candHost == h, "global entry for page ", page,
                  " still names dead host ", int(h), " as candHost");
     }
+}
+
+bool
+PipmState::corruptLocalEntry(HostId h, PageFrame cxl_page,
+                             std::uint64_t bits, bool shadow_hit)
+{
+    if (!local_[h].contains(cxl_page) || localEntryCorrupted(h, cxl_page))
+        return false;
+    corrupt_[h][cxl_page] = MetaCorruption{bits, shadow_hit};
+    return true;
+}
+
+const PipmState::MetaCorruption *
+PipmState::corruptionOf(HostId h, PageFrame cxl_page) const
+{
+    const auto it = corrupt_[h].find(cxl_page);
+    return it == corrupt_[h].end() ? nullptr : &it->second;
+}
+
+std::vector<std::pair<HostId, PageFrame>>
+PipmState::corruptedLocalEntries() const
+{
+    std::vector<std::pair<HostId, PageFrame>> out;
+    for (unsigned h = 0; h < numHosts_; ++h) {
+        for (PageFrame page : corrupt_[h].sortedKeys())
+            out.emplace_back(static_cast<HostId>(h), page);
+    }
+    return out;
+}
+
+std::size_t
+PipmState::corruptedCount() const
+{
+    std::size_t n = 0;
+    for (const auto &c : corrupt_)
+        n += c.size();
+    return n;
+}
+
+bool
+PipmState::journalCovers(HostId h, PageFrame cxl_page) const
+{
+    return journalCap_ != 0 && journalSet_.contains(journalKey(h, cxl_page));
+}
+
+void
+PipmState::journalTouch(HostId h, PageFrame cxl_page)
+{
+    if (journalCap_ == 0)
+        return;
+    const std::uint64_t key = journalKey(h, cxl_page);
+    if (journalSet_.contains(key)) {
+        // Refresh: move the page's records to the ring's tail.
+        const auto pos =
+            std::find(journalFifo_.begin(), journalFifo_.end(), key);
+        journalFifo_.erase(pos);
+        journalFifo_.push_back(key);
+        return;
+    }
+    journalFifo_.push_back(key);
+    journalSet_.insert(key);
+    if (journalFifo_.size() > journalCap_) {
+        // Ring full: the oldest page's records are overwritten.
+        journalSet_.erase(journalFifo_.front());
+        journalFifo_.erase(journalFifo_.begin());
+    }
+}
+
+void
+PipmState::journalDrop(HostId h, PageFrame cxl_page)
+{
+    if (journalCap_ == 0)
+        return;
+    const std::uint64_t key = journalKey(h, cxl_page);
+    if (!journalSet_.erase(key))
+        return;
+    journalFifo_.erase(
+        std::find(journalFifo_.begin(), journalFifo_.end(), key));
 }
 
 void

@@ -21,6 +21,7 @@
 #define PIPM_PIPM_STATE_HH
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "common/config.hh"
@@ -225,6 +226,70 @@ class PipmState
      */
     void checkRemapInvariants() const;
 
+    // ---- Metadata fault domain (DESIGN.md §12) --------------------------
+    //
+    // Corruption of a local remap entry is modelled like the directory's
+    // (see device_directory.hh): the entry's stored image is validated
+    // against a per-entry shadow checksum on every touch, so corrupted
+    // metadata is quarantined — never consumed — until the scrubber or a
+    // demand access repairs it. When the checksum survives, the entry is
+    // rebuilt in place; when the fault spans the checksum too, the redo
+    // journal (a small ring of recently written migration metadata)
+    // replays the entry, and only a page whose journal records were
+    // already overwritten must be force-reclaimed.
+
+    /** Outstanding corruption of one local remap entry. */
+    struct MetaCorruption
+    {
+        std::uint64_t bits = 0;   ///< bit-flip mask the fault applied
+        bool shadowHit = false;   ///< checksum also hit: journal or reclaim
+    };
+
+    /**
+     * Quarantine host h's local entry for a page as corrupted.
+     * @return false when there is no such entry or it is already
+     *         quarantined
+     */
+    bool corruptLocalEntry(HostId h, PageFrame cxl_page,
+                           std::uint64_t bits, bool shadow_hit);
+
+    /** Whether host h's entry for a page is quarantined. */
+    bool localEntryCorrupted(HostId h, PageFrame cxl_page) const
+    {
+        return !corrupt_[h].empty() && corrupt_[h].contains(cxl_page);
+    }
+
+    /** The corruption record, or nullptr when not quarantined. */
+    const MetaCorruption *corruptionOf(HostId h, PageFrame cxl_page) const;
+
+    /** The entry was rebuilt (or dropped): lift the quarantine. */
+    void clearCorruption(HostId h, PageFrame cxl_page)
+    {
+        corrupt_[h].erase(cxl_page);
+    }
+
+    /** Quarantined (host, page) pairs in order (deterministic scrub). */
+    std::vector<std::pair<HostId, PageFrame>> corruptedLocalEntries() const;
+
+    std::size_t corruptedCount() const;
+
+    /**
+     * Turn on the migration-metadata redo journal with a capacity of
+     * `capacity_pages` pages (0 keeps it off). Every local-entry write
+     * (promotion, line in/out) refreshes the page's journal records;
+     * the oldest page's records are overwritten when the ring is full.
+     */
+    void enableJournal(unsigned capacity_pages)
+    {
+        journalCap_ = capacity_pages;
+    }
+
+    /** Whether the journal still holds (h, page)'s metadata records. */
+    bool journalCovers(HostId h, PageFrame cxl_page) const;
+
+    /** Pages currently covered by the journal (tests). */
+    std::size_t journalLive() const { return journalFifo_.size(); }
+
     // ---- Stats ---------------------------------------------------------
 
     StatGroup &stats() { return stats_; }
@@ -252,10 +317,30 @@ class PipmState
     std::uint8_t counterMax_;       ///< 2^globalCounterBits - 1
     std::uint8_t localCounterMax_;  ///< 2^localCounterBits - 1
 
+    /** The journal ring key of one (host, page) pair. */
+    static std::uint64_t
+    journalKey(HostId h, PageFrame cxl_page)
+    {
+        return (static_cast<std::uint64_t>(h) << 52) | cxl_page;
+    }
+
+    /** Refresh (h, page)'s journal records (move to the ring's tail). */
+    void journalTouch(HostId h, PageFrame cxl_page);
+
+    /** Drop (h, page) from the journal (its entry was removed). */
+    void journalDrop(HostId h, PageFrame cxl_page);
+
     FlatMap<PageFrame, GlobalRemapEntry> global_;
     FlatSet<PageFrame> migrationDisabled_;
     std::vector<FlatMap<PageFrame, LocalRemapEntry>> local_;
     std::vector<std::uint64_t> linesOn_;
+
+    /** Per-host quarantined local entries (DESIGN.md §12). */
+    std::vector<FlatMap<PageFrame, MetaCorruption>> corrupt_;
+    unsigned journalCap_ = 0;                 ///< ring capacity (0: off)
+    std::vector<std::uint64_t> journalFifo_;  ///< keys, oldest first
+    FlatSet<std::uint64_t> journalSet_;       ///< membership of the ring
+
     StatGroup stats_;
 };
 

@@ -117,6 +117,13 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
             nextHeartbeat_[h] = phase ? phase : heartbeatCycles_;
         }
     }
+    metaFaults_ = faults_ && cfg.fault.metaCorruptMeanIntervalNs > 0.0;
+    if (metaFaults_) {
+        metaScrubInterval_ = nsToCycles(cfg.fault.metaScrubIntervalNs);
+        if (metaScrubInterval_ == 0)
+            metaScrubInterval_ = 1;
+        nextMetaScrub_ = metaScrubInterval_;
+    }
     if (cfg.link.hasSwitch) {
         switch_ = std::make_unique<CxlSwitch>(cfg.link.switchBytesPerNs,
                                               cfg.link.switchNs);
@@ -164,6 +171,8 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
             *space_);
         pipm_->reservePages(space_->sharedPages(),
                             cfg.localBytesPerHost() / pageBytes);
+        if (metaFaults_)
+            pipm_->enableJournal(cfg.fault.metaJournalPages);
         naiveCoherence_ = scheme == Scheme::pipmNaive;
     }
 
@@ -651,6 +660,16 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip() +
                  cfg_.localDirectory.roundTrip;
 
+    if (metaFaults_) {
+        // §12: the miss consults remap and directory metadata below, and
+        // the device validates every metadata read against its shadow
+        // checksum — so a demand access that trips over a quarantined
+        // entry pays the repair (or the degraded fallback) here, on the
+        // critical path.
+        lat += metaGuardPage(page, now);
+        lat += metaGuardLine(line, now);
+    }
+
     if (pipm_) {
         // §4.3.3: every LLC miss to CXL-DSM resolves the full local
         // coherence state (I vs I') through the local remapping table.
@@ -695,8 +714,12 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         // (the global table is only *waited on* when forwarding). Under
         // migration backoff (link error rate too high) the vote still
         // counts but a firing is suppressed until the link is healthy.
+        // A page group whose metadata circuit breaker is open (§12:
+        // sustained corruption/repair activity) likewise sheds the
+        // migration while demand traffic keeps flowing.
         const bool allow =
-            !faults_ || !faults_->migrationsSuspended(now);
+            !faults_ || (!faults_->migrationsSuspended(now) &&
+                         !faults_->migrationShed(page, now));
         const VoteOutcome vote = pipm_->deviceAccess(page, h, allow);
         if (vote.suppressed && faults_)
             faults_->migrationsDeferred.inc();
@@ -1170,6 +1193,15 @@ MultiHostSystem::degradedLineAccess(HostId h, LineAddr line, PhysAddr pa,
 void
 MultiHostSystem::performRevocation(HostId owner, PageFrame page, Cycles now)
 {
+    if (metaFaults_) {
+        // §12: revocation rewrites the page's migration metadata; the
+        // device validates it first. Resolution may force-reclaim the
+        // page (unrepairable, journal overwritten), in which case the
+        // revocation has nothing left to do.
+        metaGuardPage(page, now);
+        if (!pipm_->hasLocalEntry(owner, page))
+            return;
+    }
     // Collect the local frame before the entry disappears.
     panic_if(!pipm_->hasLocalEntry(owner, page),
              "revocation of page without local entry");
@@ -1252,6 +1284,14 @@ MultiHostSystem::handleEviction(HostId h,
         const PageFrame page = pageOf(pa);
         const unsigned li = lineInPage(pa);
 
+        if (metaFaults_) {
+            // §12: the eviction notifies (and possibly updates) the
+            // line's directory entry; the device validates it first.
+            // Evictions are off the demand critical path, so the repair
+            // latency is not charged to anyone.
+            metaGuardLine(ev.line, now);
+        }
+
         if (ev.state == HostState::ME) {
             // Case 4: ME -> I'. Only a local writeback if dirty; no
             // device traffic at all.
@@ -1297,7 +1337,15 @@ MultiHostSystem::handleEviction(HostId h,
 
         if (pipm_ && ev.state == HostState::M &&
             pipm_->migratedHostOf(page) == h &&
-            !pipm_->lineMigrated(h, page, li)) {
+            !pipm_->lineMigrated(h, page, li) &&
+            !(metaFaults_ &&
+              faults_->linePersistentlyPoisoned(ev.line))) {
+            // (The poison check above only exists in the §12 metadata
+            // fault domain: the guard may have just degraded this very
+            // line, and a poisoned line must never migrate — it is
+            // served uncacheably forever. Gating on metaFaults_ keeps
+            // the abort-draw position, and thus the fault RNG stream,
+            // identical in every other configuration.)
             // The abort draw happens exactly when the old short-circuit
             // drew it (after the three eligibility checks), so adding the
             // trace hook does not shift the fault RNG stream.
@@ -1358,6 +1406,16 @@ MultiHostSystem::tick(Cycles now)
 {
     if (faults_)
         processCrashEvents(now);
+    if (metaFaults_) {
+        processMetaEvents(now);
+        if (now >= nextMetaScrub_) {
+            runMetaScrub(now);
+            nextMetaScrub_ += metaScrubInterval_;
+            if (nextMetaScrub_ <= now)
+                nextMetaScrub_ = now + metaScrubInterval_;
+        }
+        faults_->advanceBreakers(now);
+    }
     if (detection_)
         advanceLeases(now);
     if (osPolicy_ && now >= nextEpoch_) {
@@ -1559,6 +1617,12 @@ void
 MultiHostSystem::reclaimHost(HostId h, Cycles now)
 {
     Cycles recovery = 0;
+
+    // §12: the sweep below trusts directory and remap metadata, so every
+    // outstanding corruption must be resolved (repaired or degraded)
+    // before the reclaim reads a single entry.
+    if (metaFaults_)
+        resolveAllMetaCorruption(now);
 
     // Loss accounting is against the last device-visible value: a line is
     // *lost* when the most recent value (dead cache dirty copy or dead
@@ -1772,6 +1836,321 @@ MultiHostSystem::noteDeadOwnedDrop(LineAddr line, const DirEntry &entry)
             noteLostLine(line);
         dirty.erase(it);
     }
+}
+
+// ---- Device-metadata fault domain (DESIGN.md §12) -------------------------
+
+void
+MultiHostSystem::processMetaEvents(Cycles now)
+{
+    while (const MetaCorruptEvent *ev = faults_->nextMetaCorruptEvent(now))
+        applyMetaCorruption(*ev, now);
+}
+
+void
+MultiHostSystem::applyMetaCorruption(const MetaCorruptEvent &ev, Cycles now)
+{
+    // Pick a victim among the live metadata words. The event's pick and
+    // flip mask were drawn when the schedule was generated, so victim
+    // selection never consumes RNG state shared with the other fault
+    // streams; an event preferring a target class that has no eligible
+    // entry falls through to the other class.
+    auto try_dir = [&]() -> bool {
+        std::vector<LineAddr> lines;
+        deviceDir_.forEach([&](LineAddr line, const DirEntry &) {
+            lines.push_back(line);
+        });
+        for (std::size_t k = 0; k < lines.size(); ++k) {
+            const LineAddr line = lines[(ev.pick + k) % lines.size()];
+            if (!deviceDir_.corruptEntry(line, ev.bits, ev.shadowHit))
+                continue;   // already quarantined
+            faults_->metaCorruptions.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::metaCorruption, now, line,
+                               invalidHost, ev.shadowHit ? 1 : 0);
+            }
+            return true;
+        }
+        return false;
+    };
+    auto try_remap = [&]() -> bool {
+        if (!pipm_)
+            return false;
+        std::vector<std::pair<HostId, PageFrame>> entries;
+        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+            const auto sh = static_cast<HostId>(s);
+            for (const PageFrame p : pipm_->localEntries(sh).sortedKeys())
+                entries.emplace_back(sh, p);
+        }
+        for (std::size_t k = 0; k < entries.size(); ++k) {
+            const auto &[eh, ep] = entries[(ev.pick + k) % entries.size()];
+            if (!pipm_->corruptLocalEntry(eh, ep, ev.bits, ev.shadowHit))
+                continue;
+            faults_->metaCorruptions.inc();
+            if (trace_) {
+                trace_->record(ObsEventType::metaCorruption, now, ep, eh,
+                               ev.shadowHit ? 1 : 0);
+            }
+            return true;
+        }
+        return false;
+    };
+    const bool hit = ev.remapTarget ? (try_remap() || try_dir())
+                                    : (try_dir() || try_remap());
+    if (!hit)
+        faults_->metaCorruptSkipped.inc();
+}
+
+void
+MultiHostSystem::runMetaScrub(Cycles now)
+{
+    // One scrub pass: walk the quarantined entries in address order with
+    // a per-pass budget. Repairs charge device resources (directory
+    // slices, links, DRAM) but are off any demand critical path, so the
+    // returned latencies are dropped.
+    unsigned budget = cfg_.fault.metaScrubBudget;
+    for (const LineAddr line : deviceDir_.corruptedLines()) {
+        if (budget == 0)
+            return;
+        --budget;
+        resolveDirCorruption(line, now);
+    }
+    if (!pipm_)
+        return;
+    for (const auto &[eh, ep] : pipm_->corruptedLocalEntries()) {
+        if (budget == 0)
+            return;
+        --budget;
+        resolveRemapCorruption(eh, ep, now);
+    }
+}
+
+void
+MultiHostSystem::resolveAllMetaCorruption(Cycles now)
+{
+    for (const LineAddr line : deviceDir_.corruptedLines())
+        resolveDirCorruption(line, now);
+    if (pipm_) {
+        for (const auto &[eh, ep] : pipm_->corruptedLocalEntries())
+            resolveRemapCorruption(eh, ep, now);
+    }
+}
+
+Cycles
+MultiHostSystem::resolveDirCorruption(LineAddr line, Cycles now)
+{
+    const auto *c = deviceDir_.corruptionOf(line);
+    if (!c)
+        return 0;
+    faults_->metaScrubChecks.inc();
+    faults_->noteMetaRepair(pageOf(lineBase(line)), now);
+    Cycles lat = deviceDir_.accessLatency(line, now);
+    DirEntry *entry = deviceDir_.lookup(line);
+    panic_if(!entry, "quarantined directory line has no entry");
+
+    if (!c->shadowHit) {
+        // The shadow checksum survived the fault: probe the live sharers
+        // and rebuild the entry image in place. One header round trip
+        // per sharer, in parallel; the slowest bounds the repair.
+        Cycles probe_max = 0;
+        for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+            const auto sh = static_cast<HostId>(s);
+            if (!entry->has(sh) || !hostAlive_[sh])
+                continue;
+            Cycles rt = hosts_[sh].link->transfer(LinkDir::toHost,
+                                                  CxlFlits::header, now);
+            rt += hosts_[sh].caches->llcRoundTrip();
+            rt += hosts_[sh].link->transfer(LinkDir::toDevice,
+                                            CxlFlits::header, now + rt);
+            probe_max = std::max(probe_max, rt);
+        }
+        lat += probe_max;
+        deviceDir_.clearCorruption(line);
+        faults_->metaScrubRepairs.inc();
+        if (trace_)
+            trace_->record(ObsEventType::scrubRepair, now, line,
+                           invalidHost);
+        return lat;
+    }
+
+    // The fault spans the shadow checksum too: the entry can be neither
+    // trusted nor rebuilt. Invalidate the line at every live sharer
+    // (collecting dirty data), account a dead owner's pending dirty
+    // value like any other entry evaporating outside the reclaim sweep,
+    // drop the entry and poison the line onto the persistent degraded
+    // uncacheable path.
+    const DirEntry snap = *entry;
+    if (snap.state == DevState::M) {
+        const HostId mo = snap.owner(cfg_.numHosts);
+        if (mo != invalidHost && !hostAlive_[mo]) {
+            auto &dirty = pendingDirty_[mo];
+            const auto it = dirty.find(line);
+            if (it != dirty.end()) {
+                if (it->second != mem_.read(line))
+                    noteLostLine(line);
+                dirty.erase(it);
+            }
+        }
+    }
+    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+        const auto sh = static_cast<HostId>(s);
+        if (!snap.has(sh) || !hostAlive_[sh])
+            continue;
+        lat += hosts_[sh].link->transfer(LinkDir::toHost, CxlFlits::header,
+                                         now);
+        auto ev = hosts_[sh].caches->invalidateLine(line);
+        if (ev && ev->dirty) {
+            mem_.write(line, ev->data);
+            hosts_[sh].link->transfer(LinkDir::toDevice, CxlFlits::data,
+                                      now);
+            cxlDram_.access(lineBase(line) - cfg_.cxlBase(), now, true);
+        } else {
+            hosts_[sh].link->transfer(LinkDir::toDevice, CxlFlits::header,
+                                      now);
+        }
+    }
+    deviceDir_.deallocate(line);   // also lifts the quarantine
+    faults_->poisonLineForever(line);
+    faults_->metaUnrepairable.inc();
+    if (trace_)
+        trace_->record(ObsEventType::scrubUnrepairable, now, line,
+                       invalidHost);
+    return lat;
+}
+
+Cycles
+MultiHostSystem::resolveRemapCorruption(HostId h, PageFrame page,
+                                        Cycles now)
+{
+    const auto *c = pipm_->corruptionOf(h, page);
+    if (!c)
+        return 0;
+    faults_->metaScrubChecks.inc();
+    faults_->noteMetaRepair(page, now);
+    Cycles lat = cfg_.pipm.globalCacheRoundTrip;
+
+    if (!c->shadowHit) {
+        // Checksum intact: one metadata read at the device rebuilds the
+        // entry image in place.
+        lat += cxlDram_.access(pageBase(page) - cfg_.cxlBase(), now,
+                               false);
+        pipm_->clearCorruption(h, page);
+        faults_->metaScrubRepairs.inc();
+        if (trace_)
+            trace_->record(ObsEventType::scrubRepair, now, page, h);
+        return lat;
+    }
+
+    if (pipm_->journalCovers(h, page)) {
+        // The redo journal still holds the page's migration metadata
+        // (the in-flight promotion/demotion wrote it): replay it into a
+        // consistent remap entry.
+        lat += cxlDram_.access(pageBase(page) - cfg_.cxlBase(), now, true);
+        pipm_->clearCorruption(h, page);
+        faults_->metaJournalReplays.inc();
+        if (trace_)
+            trace_->record(ObsEventType::journalReplay, now, page, h);
+        return lat;
+    }
+
+    // The journal records were already overwritten: the device no longer
+    // knows which lines migrated, so the partial-migration state is
+    // unrecoverable. Force-reclaim the page exactly like the crash
+    // sweep — the home copies become authoritative and per-line
+    // differences count as dirty losses.
+    const LocalRemapEntry entry = pipm_->localEntries(h).at(page);
+    if (entry.lineBitmap == 0) {
+        // In-flight promotion with no line migrated yet: the abort path
+        // restores the exact pre-vote state (and drops the quarantine).
+        pipm_->abortPromotion(h, page);
+    } else {
+        const PhysAddr base = pageBase(page);
+        for (unsigned li = 0; li < linesPerPage; ++li) {
+            if (!((entry.lineBitmap >> li) & 1))
+                continue;
+            const LineAddr home = lineOf(base + li * lineBytes);
+            // Clearing the in-memory bit is a device-side metadata write
+            // at the line's home.
+            lat += cxlDram_.access(lineBase(home) - cfg_.cxlBase(), now,
+                                   true);
+            const PhysAddr lpa = pipm_->localLineAddr(h, page, li);
+            if (naiveCoherence_) {
+                // Naive coherence caches migrated lines as ordinary
+                // directory-tracked M/S copies; only the memory copy
+                // moves back. Sync the home from a live cached copy
+                // (mirroring the crash sweep) so nothing is lost when
+                // those copies age out.
+                const DirEntry *de = deviceDir_.probe(home);
+                HostId src = invalidHost;
+                if (de) {
+                    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+                        const auto sh = static_cast<HostId>(s);
+                        if (de->has(sh) && hostAlive_[sh] &&
+                            hosts_[sh].caches->stateOf(home) !=
+                                HostState::I) {
+                            src = sh;
+                            break;
+                        }
+                    }
+                }
+                if (src != invalidHost) {
+                    const std::uint64_t v =
+                        hosts_[src].caches->dataOf(home);
+                    if (v != mem_.read(home)) {
+                        mem_.write(home, v);
+                        lat += hosts_[src].link->transfer(
+                            LinkDir::toDevice, CxlFlits::data, now);
+                        lat += cxlDram_.access(
+                            lineBase(home) - cfg_.cxlBase(), now, true);
+                    }
+                } else if (mem_.read(lineOf(lpa)) != mem_.read(home)) {
+                    // The latest value lived only in the local frame.
+                    noteLostLine(home);
+                }
+                continue;
+            }
+            // PIPM coherence: the line is (at most) ME-cached by the
+            // page's owner, invisible to the directory. Pull it back.
+            auto ev = hosts_[h].caches->invalidateLine(home);
+            const std::uint64_t v = ev ? ev->data
+                                       : mem_.read(lineOf(lpa));
+            if (v != mem_.read(home))
+                noteLostLine(home);
+        }
+        pipm_->crashReclaimPage(h, page);   // drops quarantine + journal
+    }
+    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+        if (hosts_[s].localRemap)
+            hosts_[s].localRemap->invalidate(page);
+    }
+    if (globalRemap_)
+        globalRemap_->invalidate(page);
+    faults_->metaUnrepairable.inc();
+    if (trace_)
+        trace_->record(ObsEventType::scrubUnrepairable, now, page, h);
+    return lat;
+}
+
+Cycles
+MultiHostSystem::metaGuardLine(LineAddr line, Cycles now)
+{
+    if (!deviceDir_.entryCorrupted(line))
+        return 0;
+    return resolveDirCorruption(line, now);
+}
+
+Cycles
+MultiHostSystem::metaGuardPage(PageFrame page, Cycles now)
+{
+    if (!pipm_ || pipm_->corruptedCount() == 0)
+        return 0;
+    Cycles lat = 0;
+    for (unsigned s = 0; s < cfg_.numHosts; ++s) {
+        const auto sh = static_cast<HostId>(s);
+        if (pipm_->localEntryCorrupted(sh, page))
+            lat += resolveRemapCorruption(sh, page, now);
+    }
+    return lat;
 }
 
 void

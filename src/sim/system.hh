@@ -398,6 +398,45 @@ class MultiHostSystem
     /** Record one lost dirty line (counter, lostLines_, poison policy). */
     void noteLostLine(LineAddr line);
 
+    // ---- Device-metadata fault domain (DESIGN.md §12) --------------------
+
+    /** Apply scheduled corruption events that have fallen due. */
+    void processMetaEvents(Cycles now);
+
+    /** Pick and quarantine the victim of one corruption event. */
+    void applyMetaCorruption(const MetaCorruptEvent &ev, Cycles now);
+
+    /** One scrub pass: repair up to metaScrubBudget quarantined entries. */
+    void runMetaScrub(Cycles now);
+
+    /** Repair every outstanding quarantine (crash sweeps revalidate all
+     *  device metadata before trusting it). */
+    void resolveAllMetaCorruption(Cycles now);
+
+    /**
+     * Resolve an outstanding corruption of `line`'s directory entry:
+     * probe-and-rebuild when the shadow checksum survived, else
+     * invalidate the line everywhere and poison it onto the degraded
+     * uncacheable path. Returns the validation/repair latency (demand
+     * accesses pay it; the scrubber charges resources but hides it).
+     */
+    Cycles resolveDirCorruption(LineAddr line, Cycles now);
+
+    /**
+     * Resolve an outstanding corruption of host h's remap entry for
+     * `page`: rebuild in place (checksum intact), replay from the redo
+     * journal (shadow hit, journal still covers the page), or
+     * force-reclaim the page onto its stale CXL home copies with
+     * dirty-loss accounting (shadow hit, journal records overwritten).
+     */
+    Cycles resolveRemapCorruption(HostId h, PageFrame page, Cycles now);
+
+    /** Validate-and-repair guard for a directory line on a demand path. */
+    Cycles metaGuardLine(LineAddr line, Cycles now);
+
+    /** Validate-and-repair guard for any host's remap entry of a page. */
+    Cycles metaGuardPage(PageFrame page, Cycles now);
+
     // ---- OS migration ----------------------------------------------------
 
     void runEpoch(Cycles now);
@@ -446,6 +485,11 @@ class MultiHostSystem
     std::vector<Cycles> zombieReadmitAt_;
     /** Dirty values captured at death, awaiting the reclaim sweep. */
     std::vector<std::unordered_map<LineAddr, std::uint64_t>> pendingDirty_;
+
+    // ---- Device-metadata fault domain (DESIGN.md §12) --------------------
+    bool metaFaults_ = false;       ///< fault.metaCorruptMeanIntervalNs > 0
+    Cycles metaScrubInterval_ = 0;
+    Cycles nextMetaScrub_ = 0;
 
     bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
     LatencyEstimates est_;

@@ -65,6 +65,8 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
         fcfg.fault = opt.withSuspicion ? paperSuspicionFaultConfig(fseed)
                      : opt.withCrashes ? paperCrashFaultConfig(fseed)
                                        : paperFaultConfig(fseed);
+        if (opt.withMetaCorruption)
+            addPaperMetaFaults(fcfg.fault);
         DirectWorkload workload(shared_pages * pageBytes, 4 * pageBytes);
         Rng rng(seed * 0x51ed2701 + sched);
 
@@ -181,6 +183,12 @@ checkFaultSchedules(const SystemConfig &cfg, Scheme scheme,
                 res.fencedRequests += f->fencedRequests.value();
                 res.txnTimeouts += f->txnTimeouts.value();
                 res.txnRetries += f->txnRetries.value();
+                res.metaCorruptions += f->metaCorruptions.value();
+                res.scrubRepairs += f->metaScrubRepairs.value();
+                res.scrubUnrepairable += f->metaUnrepairable.value();
+                res.journalReplays += f->metaJournalReplays.value();
+                res.breakerTrips += f->metaBreakerTrips.value();
+                res.breakerHalfOpens += f->metaBreakerHalfOpens.value();
             }
         } catch (const SimError &e) {
             res.violation = detail::concat("schedule ", sched,

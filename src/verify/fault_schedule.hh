@@ -41,6 +41,13 @@ struct FaultCheckResult
     std::uint64_t fencedRequests = 0;  ///< zombie requests NACKed
     std::uint64_t txnTimeouts = 0;     ///< transaction attempts timed out
     std::uint64_t txnRetries = 0;      ///< retries after a timeout
+    // Device-metadata corruption mode (DESIGN.md §12) only:
+    std::uint64_t metaCorruptions = 0;   ///< metadata entries corrupted
+    std::uint64_t scrubRepairs = 0;      ///< entries rebuilt in place
+    std::uint64_t scrubUnrepairable = 0; ///< degraded / force-reclaimed
+    std::uint64_t journalReplays = 0;    ///< remap entries replayed
+    std::uint64_t breakerTrips = 0;      ///< migration breakers opened
+    std::uint64_t breakerHalfOpens = 0;  ///< breakers half-opened
     std::string violation;            ///< empty when ok
 };
 
@@ -63,6 +70,16 @@ struct FaultCheckOptions
      * crash. Implies crash handling.
      */
     bool withSuspicion = false;
+    /**
+     * Layer the device-metadata corruption schedule on top
+     * (addPaperMetaFaults): directory entries and PIPM remap entries are
+     * quarantined, scrubbed-and-repaired, journal-replayed or degraded,
+     * and the per-page-group migration circuit breaker sheds migration
+     * under sustained repair activity (DESIGN.md §12). Composes with
+     * either of the above; lines the unrepairable fallback reports lost
+     * are accepted stale exactly like crash losses.
+     */
+    bool withMetaCorruption = false;
 };
 
 /**

@@ -204,6 +204,39 @@ TEST(FaultReplay, SameSeedIsBitForBitDeterministic)
     EXPECT_NE(a.execCycles, c.execCycles);
 }
 
+TEST(FaultReplay, MetaCorruptionOffLeavesFaultRunsBitIdentical)
+{
+    // The §12 machinery must be invisible while its master switch is
+    // off: with metaCorruptMeanIntervalNs == 0, tweaking every other
+    // meta knob must replay the heaviest existing schedule
+    // (crash + lease detector + gray-failure stalls) bit-for-bit.
+    SystemConfig plain = testConfig();
+    plain.fault = paperSuspicionFaultConfig(3);
+
+    SystemConfig tweaked = plain;
+    tweaked.fault.metaShadowHitFrac = 0.95;
+    tweaked.fault.metaJournalPages = 2;
+    tweaked.fault.metaScrubIntervalNs = 1.0;
+    tweaked.fault.metaScrubBudget = 1;
+    tweaked.fault.metaBreakerThreshold = 1;
+    tweaked.fault.metaBreakerGroupPages = 1;
+    tweaked.fault.metaCorruptMeanIntervalNs = 0.0;   // master switch off
+
+    auto wl = smallWorkload();
+    const RunResult a = runExperiment(plain, Scheme::pipmFull, *wl,
+                                      shortRun());
+    const RunResult b = runExperiment(tweaked, Scheme::pipmFull, *wl,
+                                      shortRun());
+    EXPECT_EQ(a.execCycles, b.execCycles);
+    EXPECT_EQ(a.sharedLlcMisses, b.sharedLlcMisses);
+    EXPECT_EQ(a.linkCrcErrors, b.linkCrcErrors);
+    EXPECT_EQ(a.linkRetrainEvents, b.linkRetrainEvents);
+    EXPECT_EQ(a.poisonEvents, b.poisonEvents);
+    EXPECT_EQ(a.migrationAborts, b.migrationAborts);
+    EXPECT_EQ(a.migrationsDeferred, b.migrationsDeferred);
+    EXPECT_GT(a.linkCrcErrors, 0u);
+}
+
 TEST(FaultLink, CrcReplayAddsLatencyAndWireBytes)
 {
     const SystemConfig cfg = testConfig();
