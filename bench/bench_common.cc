@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/env.hh"
 #include "common/hash.hh"
 
 namespace pipmbench
@@ -19,13 +20,6 @@ using namespace pipm;
 
 namespace
 {
-
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
-{
-    const char *v = std::getenv(name);
-    return v ? std::strtoull(v, nullptr, 10) : fallback;
-}
 
 /** Serialise a RunResult as tab-separated fields. */
 std::string

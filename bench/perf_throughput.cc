@@ -12,17 +12,108 @@
  *
  * Output: a human-readable table on stdout and a JSON summary written
  * to PIPM_BENCH_PERF_JSON (default ./BENCH_perf.json) for CI artifact
- * upload and cross-commit comparison.
+ * upload and cross-commit comparison. When PIPM_BENCH_PERF_BASELINE
+ * points at a committed BENCH_perf.json, per-scheme refs/s are compared
+ * against it and a >20% drop prints a warning — non-gating, because
+ * refs/s is machine-dependent (exec_cycles is the deterministic field;
+ * rates only compare meaningfully on the same runner class).
  */
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <utility>
+#include <vector>
 
 #include "bench_common.hh"
+#include "common/env.hh"
 #include "common/table_printer.hh"
+#include "obs/json.hh"
 #include "workloads/catalog.hh"
+
+namespace
+{
+
+/** Slurp a file; empty string when unreadable. */
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return in.good() || in.eof() ? buf.str() : std::string();
+}
+
+/**
+ * Compare this run's per-scheme rates against a committed baseline.
+ * Prints warnings only; never fails the build. Parameter mismatches
+ * (different refs, seed, workload or scheduler) void the comparison
+ * since the rates would not be apples-to-apples.
+ */
+void
+compareBaseline(const std::string &path, const std::string &workload,
+                const pipmbench::Options &opts, const std::string &sched,
+                const std::vector<std::pair<std::string, double>> &rates)
+{
+    using pipm::JsonValue;
+    const std::string text = readFile(path);
+    if (text.empty()) {
+        std::fprintf(stderr,
+                     "[perf] baseline %s unreadable; skipping compare\n",
+                     path.c_str());
+        return;
+    }
+    std::string err;
+    const auto base = pipm::parseJson(text, &err);
+    if (!base) {
+        std::fprintf(stderr, "[perf] baseline %s: %s; skipping compare\n",
+                     path.c_str(), err.c_str());
+        return;
+    }
+    const JsonValue *wl = base->find("workload");
+    const JsonValue *refs = base->find("measure_refs_per_core");
+    const JsonValue *warm = base->find("warmup_refs_per_core");
+    const JsonValue *seed = base->find("seed");
+    const JsonValue *bsched = base->find("sched");
+    if (!wl || wl->raw != workload ||
+        !refs || refs->asU64() != opts.measureRefs ||
+        !warm || warm->asU64() != opts.warmupRefs ||
+        !seed || seed->asU64() != opts.seed ||
+        (bsched && bsched->raw != sched)) {
+        std::fprintf(stderr,
+                     "[perf] baseline %s measured different parameters; "
+                     "skipping compare\n",
+                     path.c_str());
+        return;
+    }
+    const JsonValue *schemes = base->find("schemes");
+    if (!schemes || !schemes->isArray())
+        return;
+    for (const auto &[name, rate] : rates) {
+        for (const JsonValue &entry : schemes->arr) {
+            const JsonValue *sn = entry.find("scheme");
+            const JsonValue *sr = entry.find("refs_per_s");
+            if (!sn || !sr || sn->raw != name || sr->num <= 0.0)
+                continue;
+            const double ratio = rate / sr->num;
+            if (ratio < 0.8) {
+                std::fprintf(stderr,
+                             "[perf] WARNING: scheme %s at %.0f refs/s is "
+                             "%.0f%% of the committed baseline (%.0f); "
+                             "non-gating, but worth a look\n",
+                             name.c_str(), rate, ratio * 100.0, sr->num);
+            } else {
+                std::fprintf(stderr,
+                             "[perf] scheme %s: %.2fx baseline\n",
+                             name.c_str(), ratio);
+            }
+        }
+    }
+}
+
+} // namespace
 
 int
 main()
@@ -35,6 +126,7 @@ main()
     const SystemConfig cfg = defaultConfig();
     const RunConfig run_cfg = runConfigOf(opts);
     const auto workload = workloadByName("pr", cfg.footprintScale);
+    const std::string sched = envStr("PIPM_SCHED", "heap");
 
     // Simulated references fed into one run: warmup plus measurement,
     // on every core of every host.
@@ -53,10 +145,12 @@ main()
     json << "{\n  \"workload\": \"" << workload->name() << "\",\n"
          << "  \"measure_refs_per_core\": " << opts.measureRefs << ",\n"
          << "  \"warmup_refs_per_core\": " << opts.warmupRefs << ",\n"
-         << "  \"seed\": " << opts.seed << ",\n  \"schemes\": [";
+         << "  \"seed\": " << opts.seed << ",\n"
+         << "  \"sched\": \"" << sched << "\",\n  \"schemes\": [";
 
     double total_s = 0.0;
     bool first = true;
+    std::vector<std::pair<std::string, double>> rates;
     for (Scheme s : allSchemes) {
         const auto t0 = clock::now();
         const RunResult r = runExperiment(cfg, s, *workload, run_cfg);
@@ -69,6 +163,7 @@ main()
         table.row({std::string(toString(s)), TablePrinter::num(wall, 3),
                    TablePrinter::num(rate, 0),
                    std::to_string(r.execCycles)});
+        rates.emplace_back(std::string(toString(s)), rate);
         json << (first ? "" : ",") << "\n    {\"scheme\": \""
              << toString(s) << "\", \"wall_s\": " << wall
              << ", \"refs_per_s\": " << rate
@@ -101,5 +196,9 @@ main()
                      json_path.c_str());
     else
         std::cout << "Wrote " << json_path << "\n";
+
+    const std::string baseline = envStr("PIPM_BENCH_PERF_BASELINE", "");
+    if (!baseline.empty())
+        compareBaseline(baseline, workload->name(), opts, sched, rates);
     return 0;
 }

@@ -24,6 +24,8 @@ CacheHierarchy::CacheHierarchy(const SystemConfig &cfg, std::uint64_t seed)
            cfg.llcPerCore.ways, ReplPolicy::lru, seed),
       stats_("cache")
 {
+    panic_if(numCores_ > 32, "L1-presence mask supports at most 32 cores "
+             "per host, got ", numCores_);
     l1s_.reserve(numCores_);
     for (unsigned c = 0; c < numCores_; ++c) {
         l1s_.emplace_back(
@@ -67,9 +69,11 @@ CacheHierarchy::recordWrite(CoreId core, LineAddr line, std::uint64_t data)
              toString(llc_line->state));
     llc_line->dirty = true;
     llc_line->data = data;
-    dropFromL1s(line, static_cast<int>(core));
-    if (L1Meta *l1_line = l1s_[core].lookup(line))
-        l1_line->dirty = true;
+    dropFromL1s(line, static_cast<int>(core), llc_line->l1Mask);
+    if ((llc_line->l1Mask >> core) & 1) {
+        if (L1Meta *l1_line = l1s_[core].lookup(line))
+            l1_line->dirty = true;
+    }
 }
 
 std::optional<CacheHierarchy::Eviction>
@@ -79,8 +83,10 @@ CacheHierarchy::fill(CoreId core, LineAddr line, HostState state, bool dirty,
     panic_if(state == HostState::I, "filling line ", line, " in state I");
     std::optional<Eviction> out;
     std::optional<SetAssoc<LlcMeta>::Entry> victim;
-    if (LlcMeta *m = llc_.fetchOrInsert(line, LlcMeta{state, dirty, data},
-                                        victim)) {
+    bool resident = false;
+    LlcMeta *m =
+        llc_.acquire(line, LlcMeta{state, dirty, 0, data}, victim, resident);
+    if (resident) {
         // Already resident (e.g. upgrade fill): refresh state/data.
         m->state = state;
         m->dirty = m->dirty || dirty;
@@ -90,12 +96,13 @@ CacheHierarchy::fill(CoreId core, LineAddr line, HostState state, bool dirty,
         // Inclusive: back-invalidate the victim from all L1s. A dirty
         // L1 copy cannot be newer than the LLC copy because writes
         // update both (recordWrite), so no data merge is needed.
-        dropFromL1s(victim->key, -1);
+        dropFromL1s(victim->key, -1, victim->meta.l1Mask);
         out = Eviction{victim->key, victim->meta.state,
                        victim->meta.dirty, victim->meta.data};
     }
     // L1 victims need no writeback: the LLC copy is authoritative.
     l1s_[core].insertIfAbsent(line, L1Meta{false});
+    m->l1Mask |= 1u << core;
     return out;
 }
 
@@ -122,7 +129,7 @@ CacheHierarchy::invalidateLine(LineAddr line)
     auto entry = llc_.invalidate(line);
     if (!entry)
         return std::nullopt;
-    dropFromL1s(line, -1);
+    dropFromL1s(line, -1, entry->meta.l1Mask);
     return Eviction{line, entry->meta.state, entry->meta.dirty,
                     entry->meta.data};
 }
@@ -155,16 +162,6 @@ CacheHierarchy::flushAll()
     for (auto &l1 : l1s_)
         l1.clear();
     return out;
-}
-
-void
-CacheHierarchy::dropFromL1s(LineAddr line, int except)
-{
-    for (unsigned c = 0; c < numCores_; ++c) {
-        if (static_cast<int>(c) == except)
-            continue;
-        l1s_[c].invalidate(line);
-    }
 }
 
 } // namespace pipm

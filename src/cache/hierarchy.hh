@@ -19,6 +19,7 @@
 #ifndef PIPM_CACHE_HIERARCHY_HH
 #define PIPM_CACHE_HIERARCHY_HH
 
+#include <bit>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -55,6 +56,15 @@ class CacheHierarchy
         HostState state = HostState::I;   ///< host-level state (I on miss)
     };
 
+    /** Outcome of a fused cachedAccess (probe + completion). */
+    struct CachedAccess
+    {
+        HitLevel level = HitLevel::miss;
+        HostState state = HostState::I;   ///< state at probe time (I on miss)
+        std::uint64_t data = 0;           ///< read data (valid on hits)
+        bool completed = false;           ///< write applied (state was M/ME)
+    };
+
     CacheHierarchy(const SystemConfig &cfg, std::uint64_t seed);
 
     /**
@@ -62,6 +72,33 @@ class CacheHierarchy
      * on hits but performs no fills, dirty-marking or state changes.
      */
     LookupResult lookup(CoreId core, LineAddr line);
+
+    /**
+     * Fused demand access for the hit path (DESIGN.md §9): one scan of
+     * the LLC and one of the core's L1 resolve the hit level, refill the
+     * L1 on an LLC hit, and complete the read (data out) or the write
+     * (dirty + data + cross-L1 invalidation) when the line is writable.
+     * A write that finds a non-writable state is left for the caller
+     * (`completed` false: upgrade path or recordWrite panic). Misses
+     * only count and return. State evolution — counters, replacement
+     * order, metadata — is exactly that of the historical
+     * lookup/dataOf/fill/recordWrite sequence, with redundant same-entry
+     * replacement touches collapsed (order-preserving under LRU).
+     */
+    CachedAccess cachedAccess(CoreId core, LineAddr line, bool isWrite,
+                              std::uint64_t wdata);
+
+    /**
+     * Fused fill-and-complete for the miss path: insert the resolved
+     * line into LLC + L1 and apply the write (or leave the fill data for
+     * the read) in the same scans. Equivalent to fill() followed by
+     * recordWrite() on a write; the caller still handles the returned
+     * LLC capacity eviction.
+     */
+    std::optional<Eviction> fillAccess(CoreId core, LineAddr line,
+                                       HostState state, bool dirty,
+                                       std::uint64_t data, bool isWrite,
+                                       std::uint64_t wdata);
 
     /**
      * Complete a write hit: mark the line dirty, update its data token and
@@ -121,11 +158,24 @@ class CacheHierarchy
     {
         HostState state = HostState::I;
         bool dirty = false;
+        /**
+         * Conservative L1-presence mask: bit c set means core c's L1 MAY
+         * hold the line (set on every L1 fill, cleared on invalidation;
+         * silent L1 capacity evictions leave stale bits). A clear bit
+         * proves absence, so cross-L1 invalidations skip those scans.
+         * 32 bits keeps the whole record at 16 bytes — the LLC meta
+         * strip of a 16-way set is 4 cache lines instead of 6, and every
+         * demand access walks that strip.
+         */
+        std::uint32_t l1Mask = 0;
         std::uint64_t data = 0;
     };
 
-    /** Invalidate a line from every L1 except `except` (-1: all). */
-    void dropFromL1s(LineAddr line, int except);
+    /**
+     * Invalidate a line from every L1 whose mask bit is set, except
+     * `except` (-1: all); clears the processed bits.
+     */
+    void dropFromL1s(LineAddr line, int except, std::uint32_t &mask);
 
     unsigned numCores_;
     Cycles l1Rt_;
@@ -134,6 +184,111 @@ class CacheHierarchy
     SetAssoc<LlcMeta> llc_;
     StatGroup stats_;
 };
+
+// The fused access primitives live in the header: they are the hottest
+// functions in the whole simulator (every demand reference lands here),
+// and inlining the scans into the protocol code is worth several
+// percent of end-to-end throughput (DESIGN.md §9).
+
+inline void
+CacheHierarchy::dropFromL1s(LineAddr line, int except, std::uint32_t &mask)
+{
+    std::uint32_t pending = mask;
+    if (except >= 0)
+        pending &= ~(1u << except);
+    while (pending) {
+        const unsigned c =
+            static_cast<unsigned>(std::countr_zero(pending));
+        pending &= pending - 1;
+        l1s_[c].invalidate(line);
+        mask &= ~(1u << c);
+    }
+}
+
+inline CacheHierarchy::CachedAccess
+CacheHierarchy::cachedAccess(CoreId core, LineAddr line, bool isWrite,
+                             std::uint64_t wdata)
+{
+    panic_if(core >= numCores_, "core id ", core, " out of range");
+    CachedAccess out;
+    LlcMeta *m = llc_.lookup(line);
+    if (!m) {
+        // Inclusive hierarchy: absent from LLC implies absent from L1s.
+        misses.inc();
+        return out;
+    }
+    out.state = m->state;
+    // L1 hit: replacement touch, as lookup() did. L1 miss under an LLC
+    // hit: refill the L1 (the historical lookup + fill pair).
+    std::optional<SetAssoc<L1Meta>::Entry> l1_victim;   // silent L1 drop
+    bool l1_resident = false;
+    L1Meta *l1 =
+        l1s_[core].acquire(line, L1Meta{false}, l1_victim, l1_resident);
+    if (l1_resident) {
+        l1Hits.inc();
+        out.level = HitLevel::l1;
+    } else {
+        llcHits.inc();
+        out.level = HitLevel::llc;
+    }
+    m->l1Mask |= 1u << core;
+    if (isWrite) {
+        if (m->state == HostState::M || m->state == HostState::ME) {
+            m->dirty = true;
+            m->data = wdata;
+            dropFromL1s(line, static_cast<int>(core), m->l1Mask);
+            l1->dirty = true;
+            out.completed = true;
+        }
+    } else {
+        out.data = m->data;
+    }
+    return out;
+}
+
+inline std::optional<CacheHierarchy::Eviction>
+CacheHierarchy::fillAccess(CoreId core, LineAddr line, HostState state,
+                           bool dirty, std::uint64_t data, bool isWrite,
+                           std::uint64_t wdata)
+{
+    panic_if(state == HostState::I, "filling line ", line, " in state I");
+    std::optional<Eviction> out;
+    std::optional<SetAssoc<LlcMeta>::Entry> victim;
+    bool resident = false;
+    LlcMeta *m =
+        llc_.acquire(line, LlcMeta{state, dirty, 0, data}, victim, resident);
+    if (resident) {
+        // Already resident (e.g. upgrade fill): refresh state/data.
+        m->state = state;
+        m->dirty = m->dirty || dirty;
+        m->data = data;
+    } else if (victim) {
+        llcEvictions.inc();
+        dropFromL1s(victim->key, -1, victim->meta.l1Mask);
+        out = Eviction{victim->key, victim->meta.state, victim->meta.dirty,
+                       victim->meta.data};
+    }
+    std::optional<SetAssoc<L1Meta>::Entry> l1_victim;   // silent L1 drop
+    bool l1_resident = false;
+    L1Meta *l1 = l1s_[core].insertOrGet(line, L1Meta{false}, l1_victim,
+                                        l1_resident);
+    m->l1Mask |= 1u << core;
+    if (isWrite) {
+        panic_if(m->state != HostState::M && m->state != HostState::ME,
+                 "write to line ", line, " in non-writable state ",
+                 toString(m->state));
+        m->dirty = true;
+        m->data = wdata;
+        dropFromL1s(line, static_cast<int>(core), m->l1Mask);
+        if (l1_resident) {
+            // Parity with the historical pair (insertIfAbsent hit, then
+            // recordWrite's lookup): the resident entry got one touch.
+            l1s_[core].lookup(line);
+        }
+        l1->dirty = true;
+    }
+    return out;
+}
 
 } // namespace pipm
 

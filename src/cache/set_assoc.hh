@@ -13,17 +13,19 @@
  * Storage is structure-of-arrays with one-byte tag fingerprints: each way
  * has a tag byte (0 = empty, else a 7-bit hash fingerprint with the top
  * bit set), so the way scan of a lookup reads a 16-byte tag strip — one
- * cache line for a 16-way set — and touches the full 8-byte keys only on
- * a fingerprint match (~1/128 false-positive rate per way). Replacement
- * words and Meta payloads live in separate arrays that only hits and
- * fills touch. Lookups dominate the simulator's hot path (tens of
- * millions of directory and LLC probes per run), which makes the scan
- * footprint a first-order throughput term; see DESIGN.md §9.
+ * cache line for a 16-way set, eight ways per SWAR step — and touches the
+ * full 8-byte keys only on a fingerprint match (~1/128 false-positive
+ * rate per way). Replacement words and Meta payloads live in separate
+ * arrays that only hits and fills touch. Lookups dominate the simulator's
+ * hot path (tens of millions of directory and LLC probes per run), which
+ * makes the scan footprint a first-order throughput term; see DESIGN.md
+ * §9.
  */
 
 #ifndef PIPM_CACHE_SET_ASSOC_HH
 #define PIPM_CACHE_SET_ASSOC_HH
 
+#include <bit>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -31,6 +33,7 @@
 
 #include "cache/replacement.hh"
 #include "common/logging.hh"
+#include "common/swar.hh"
 
 namespace pipm
 {
@@ -120,17 +123,9 @@ class SetAssoc
         const std::uint64_t h = hashOf(key);
         const std::size_t base = baseOf(h);
         const std::uint8_t fp = fpOf(h);
-        std::size_t free_way = npos;
-        for (unsigned w = 0; w < ways_; ++w) {
-            const std::uint8_t t = tags_[base + w];
-            if (t == 0) {
-                if (free_way == npos)
-                    free_way = w;
-            } else {
-                panic_if(t == fp && keys_[base + w] == key,
-                         "duplicate insert of key ", key);
-            }
-        }
+        std::size_t free_way;
+        panic_if(scanSet(base, fp, key, free_way) != npos,
+                 "duplicate insert of key ", key);
         if (free_way != npos) {
             fill(base + free_way, fp, key, std::move(meta));
             return std::nullopt;
@@ -149,16 +144,9 @@ class SetAssoc
         const std::uint64_t h = hashOf(key);
         const std::size_t base = baseOf(h);
         const std::uint8_t fp = fpOf(h);
-        std::size_t free_way = npos;
-        for (unsigned w = 0; w < ways_; ++w) {
-            const std::uint8_t t = tags_[base + w];
-            if (t == 0) {
-                if (free_way == npos)
-                    free_way = w;
-            } else if (t == fp && keys_[base + w] == key) {
-                return std::nullopt;
-            }
-        }
+        std::size_t free_way;
+        if (scanSet(base, fp, key, free_way) != npos)
+            return std::nullopt;
         if (free_way != npos) {
             fill(base + free_way, fp, key, std::move(meta));
             return std::nullopt;
@@ -180,23 +168,78 @@ class SetAssoc
         const std::uint64_t h = hashOf(key);
         const std::size_t base = baseOf(h);
         const std::uint8_t fp = fpOf(h);
-        std::size_t free_way = npos;
-        for (unsigned w = 0; w < ways_; ++w) {
-            const std::uint8_t t = tags_[base + w];
-            if (t == 0) {
-                if (free_way == npos)
-                    free_way = w;
-            } else if (t == fp && keys_[base + w] == key) {
-                const std::size_t i = base + w;
-                replWords_[i] = repl_.onHit(replWords_[i], ++useClock_);
-                return &meta_[i];
-            }
+        std::size_t free_way;
+        const std::size_t i = scanSet(base, fp, key, free_way);
+        if (i != npos) {
+            replWords_[i] = repl_.onHit(replWords_[i], ++useClock_);
+            return &meta_[i];
         }
         if (free_way != npos)
             fill(base + free_way, fp, key, std::move(meta));
         else
             evicted = evictAndFill(base, fp, key, std::move(meta));
         return nullptr;
+    }
+
+    /**
+     * Single-scan acquire: like fetchOrInsert, but the returned pointer
+     * is always valid — the resident entry after an onHit touch, or the
+     * freshly inserted one. `resident` tells the caller which happened.
+     * @param evicted receives the displaced entry, if any
+     */
+    Meta *
+    acquire(std::uint64_t key, Meta meta, std::optional<Entry> &evicted,
+            bool &resident)
+    {
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        std::size_t free_way;
+        const std::size_t i = scanSet(base, fp, key, free_way);
+        if (i != npos) {
+            replWords_[i] = repl_.onHit(replWords_[i], ++useClock_);
+            resident = true;
+            return &meta_[i];
+        }
+        resident = false;
+        std::size_t slot = 0;
+        if (free_way != npos) {
+            slot = base + free_way;
+            fill(slot, fp, key, std::move(meta));
+        } else {
+            evicted = evictAndFill(base, fp, key, std::move(meta), &slot);
+        }
+        return &meta_[slot];
+    }
+
+    /**
+     * Single-scan insertIfAbsent that also returns the entry: the
+     * resident one untouched (no replacement-state update, matching
+     * insertIfAbsent), or the freshly inserted one.
+     * @param evicted receives the displaced entry, if any
+     */
+    Meta *
+    insertOrGet(std::uint64_t key, Meta meta, std::optional<Entry> &evicted,
+                bool &resident)
+    {
+        const std::uint64_t h = hashOf(key);
+        const std::size_t base = baseOf(h);
+        const std::uint8_t fp = fpOf(h);
+        std::size_t free_way;
+        const std::size_t i = scanSet(base, fp, key, free_way);
+        if (i != npos) {
+            resident = true;
+            return &meta_[i];
+        }
+        resident = false;
+        std::size_t slot = 0;
+        if (free_way != npos) {
+            slot = base + free_way;
+            fill(slot, fp, key, std::move(meta));
+        } else {
+            evicted = evictAndFill(base, fp, key, std::move(meta), &slot);
+        }
+        return &meta_[slot];
     }
 
     /** Remove a key if present; returns its entry. */
@@ -270,6 +313,53 @@ class SetAssoc
         return static_cast<std::uint8_t>((h >> 56) | 0x80u);
     }
 
+    /**
+     * One pass over a set's tag strip, eight ways per step: the way
+     * holding `key` (npos if absent) and, through `free_way`, the lowest
+     * empty way (npos if the set is full). Exactly the way-order
+     * semantics of the byte-at-a-time loop it replaces.
+     */
+    std::size_t
+    scanSet(std::size_t base, std::uint8_t fp, std::uint64_t key,
+            std::size_t &free_way) const
+    {
+        const std::uint8_t *tags = tags_.data() + base;
+        const std::uint64_t *keys = keys_.data() + base;
+        free_way = npos;
+        unsigned w = 0;
+        for (; w + 8 <= ways_; w += 8) {
+            const std::uint64_t word = swarLoad(tags + w);
+            std::uint64_t m = swarMatchMask(word, fp);
+            while (m) {
+                const unsigned c =
+                    w + static_cast<unsigned>(std::countr_zero(m)) / 8;
+                if (keys[c] == key) {
+                    // A hit never consults free_way; leaving it at the
+                    // lowest empty way of *earlier* words only is fine.
+                    return base + c;
+                }
+                m &= m - 1;
+            }
+            if (free_way == npos) {
+                const std::uint64_t z = swarMatchMask(word, 0);
+                if (z) {
+                    free_way =
+                        w + static_cast<unsigned>(std::countr_zero(z)) / 8;
+                }
+            }
+        }
+        for (; w < ways_; ++w) {
+            const std::uint8_t t = tags[w];
+            if (t == 0) {
+                if (free_way == npos)
+                    free_way = w;
+            } else if (t == fp && keys[w] == key) {
+                return base + w;
+            }
+        }
+        return npos;
+    }
+
     /** Index of a resident key's way slot, or npos. */
     std::size_t
     find(std::uint64_t key) const
@@ -279,7 +369,18 @@ class SetAssoc
         const std::uint8_t fp = fpOf(h);
         const std::uint8_t *tags = tags_.data() + base;
         const std::uint64_t *keys = keys_.data() + base;
-        for (unsigned w = 0; w < ways_; ++w) {
+        unsigned w = 0;
+        for (; w + 8 <= ways_; w += 8) {
+            std::uint64_t m = swarMatchMask(swarLoad(tags + w), fp);
+            while (m) {
+                const unsigned c =
+                    w + static_cast<unsigned>(std::countr_zero(m)) / 8;
+                if (keys[c] == key)
+                    return base + c;
+                m &= m - 1;
+            }
+        }
+        for (; w < ways_; ++w) {
             if (tags[w] == fp && keys[w] == key)
                 return base + w;
         }
@@ -298,24 +399,39 @@ class SetAssoc
     /** Evict the set's policy victim and fill the new key in its place. */
     std::optional<Entry>
     evictAndFill(std::size_t base, std::uint8_t fp, std::uint64_t key,
-                 Meta meta)
+                 Meta meta, std::size_t *slot_out = nullptr)
     {
-        // Associativity is bounded, so the scratch words live on the
-        // stack (hot path: one per capacity fill).
-        panic_if(ways_ > maxWays, "associativity above ", maxWays);
-        ReplWord words[maxWays];
-        for (unsigned w = 0; w < ways_; ++w)
-            words[w] = replWords_[base + w];
-        const std::size_t victim_way =
-            repl_.victim(std::span<ReplWord>(words, ways_));
-        // SRRIP ages the whole set while choosing; write the words back.
-        if (repl_.policy() == ReplPolicy::srrip) {
+        std::size_t victim_way;
+        if (repl_.policy() == ReplPolicy::lru) {
+            // LRU never mutates the words while choosing, so the argmin
+            // runs straight over the stored strip (same first-minimum
+            // tie-break as Replacement::victim) — no scratch copy, no
+            // out-of-line call on the capacity-fill hot path.
+            const ReplWord *words = replWords_.data() + base;
+            victim_way = 0;
+            for (unsigned w = 1; w < ways_; ++w) {
+                if (words[w] < words[victim_way])
+                    victim_way = w;
+            }
+        } else {
+            // Associativity is bounded, so the scratch words live on the
+            // stack (hot path: one per capacity fill).
+            panic_if(ways_ > maxWays, "associativity above ", maxWays);
+            ReplWord words[maxWays];
             for (unsigned w = 0; w < ways_; ++w)
-                replWords_[base + w] = words[w];
+                words[w] = replWords_[base + w];
+            victim_way = repl_.victim(std::span<ReplWord>(words, ways_));
+            // SRRIP ages the whole set while choosing; write them back.
+            if (repl_.policy() == ReplPolicy::srrip) {
+                for (unsigned w = 0; w < ways_; ++w)
+                    replWords_[base + w] = words[w];
+            }
         }
         const std::size_t victim = base + victim_way;
         Entry evicted{keys_[victim], std::move(meta_[victim])};
         fill(victim, fp, key, std::move(meta));
+        if (slot_out)
+            *slot_out = victim;
         return evicted;
     }
 

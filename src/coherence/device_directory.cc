@@ -13,6 +13,8 @@ DeviceDirectory::DeviceDirectory(const DirectoryConfig &cfg)
       entries_(cfg.sets * cfg.slices, cfg.ways, ReplPolicy::lru),
       stats_("device_dir")
 {
+    if (slices_ != 0 && (slices_ & (slices_ - 1)) == 0)
+        sliceMask_ = slices_ - 1;
     stats_.addCounter(&lookups, "lookups", "directory lookups");
     stats_.addCounter(&recalls, "recalls",
                       "entries recalled for capacity");
@@ -23,7 +25,9 @@ DeviceDirectory::accessLatency(LineAddr line, Cycles now)
 {
     lookups.inc();
     lastNow_ = now;
-    const unsigned slice = static_cast<unsigned>(line % slices_);
+    const unsigned slice =
+        sliceMask_ ? static_cast<unsigned>(line) & sliceMask_
+                   : static_cast<unsigned>(line % slices_);
     const Cycles start = std::max(now, sliceBusyUntil_[slice]);
     sliceBusyUntil_[slice] = start + serviceCycles_;
     return (start - now) + roundTrip_;

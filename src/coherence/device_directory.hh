@@ -175,6 +175,9 @@ class DeviceDirectory
 
   private:
     unsigned slices_;
+    // line % slices_ as an AND when the slice count is a power of two
+    // (all shipped configs); 0 selects the modulo fallback.
+    unsigned sliceMask_ = 0;
     Cycles roundTrip_;
     Cycles serviceCycles_;
     std::vector<Cycles> sliceBusyUntil_;

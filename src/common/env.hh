@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Environment-variable override helpers shared by the runner and the
+ * bench harnesses (previously copy-pasted in both).
+ *
+ * A variable that is unset *or set to the empty string* yields the
+ * fallback: an empty value means "not configured", never "zero". This
+ * follows the PIPM_CHECK_INVARIANTS pattern established in the runner.
+ */
+
+#ifndef PIPM_COMMON_ENV_HH
+#define PIPM_COMMON_ENV_HH
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace pipm
+{
+
+/** Numeric env override; unset/empty returns `fallback`. */
+inline std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        if (*env != '\0')
+            return std::strtoull(env, nullptr, 10);
+    }
+    return fallback;
+}
+
+/** String env override; unset/empty returns `fallback`. */
+inline std::string
+envStr(const char *name, std::string fallback)
+{
+    if (const char *env = std::getenv(name)) {
+        if (*env != '\0')
+            return env;
+    }
+    return fallback;
+}
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_ENV_HH

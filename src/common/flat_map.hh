@@ -27,12 +27,14 @@
 #define PIPM_COMMON_FLAT_MAP_HH
 
 #include <algorithm>
+#include <bit>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
 
 #include "common/logging.hh"
+#include "common/swar.hh"
 
 namespace pipm
 {
@@ -258,12 +260,28 @@ class FlatMap
     static constexpr std::size_t maxLoadNum = 7;
     static constexpr std::size_t maxLoadDen = 8;
 
+    static std::uint64_t
+    hashOf(const K &key)
+    {
+        return flatHashMix(static_cast<std::uint64_t>(key));
+    }
+
+    /**
+     * Occupancy byte for a slot: top hash bits with the high bit forced
+     * so it never reads as empty (0). Probes compare this byte — one
+     * contiguous-array load — and only touch the 16-byte slot on a tag
+     * match, which keeps long probe runs near the 7/8 load limit cheap.
+     */
+    static std::uint8_t
+    tagOf(std::uint64_t hash)
+    {
+        return static_cast<std::uint8_t>(0x80u | (hash >> 57));
+    }
+
     std::size_t
     homeOf(const K &key) const
     {
-        return static_cast<std::size_t>(
-            flatHashMix(static_cast<std::uint64_t>(key)) &
-            (slots_.size() - 1));
+        return static_cast<std::size_t>(hashOf(key) & (slots_.size() - 1));
     }
 
     /** Slot of a present key, or npos. */
@@ -273,9 +291,35 @@ class FlatMap
         if (slots_.empty())
             return npos;
         const std::size_t mask = slots_.size() - 1;
-        std::size_t i = homeOf(key);
+        const std::uint64_t h = hashOf(key);
+        const std::uint8_t tag = tagOf(h);
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        // Probe runs near the 7/8 load limit average tens of slots, so
+        // walk the occupancy array eight bytes per step while a full
+        // word fits before the wrap; the byte loop finishes the (rare)
+        // run that crosses the array end. Probe order — and therefore
+        // which slot is found — is exactly the byte loop's.
+        const std::uint8_t *f = filled_.data();
+        while (i + 8 <= filled_.size()) {
+            const std::uint64_t word = swarLoad(f + i);
+            const std::uint64_t mz = swarMatchMask(word, 0);
+            std::uint64_t mt = swarMatchMask(word, tag);
+            if (mz)
+                mt &= (mz & -mz) - 1;   // candidates before the 1st empty
+            while (mt) {
+                const std::size_t c =
+                    i + static_cast<std::size_t>(std::countr_zero(mt)) / 8;
+                if (slots_[c].first == key)
+                    return c;
+                mt &= mt - 1;
+            }
+            if (mz)
+                return npos;
+            i += 8;
+        }
+        i &= mask;   // the word walk may stop exactly at the array end
         while (filled_[i]) {
-            if (slots_[i].first == key)
+            if (filled_[i] == tag && slots_[i].first == key)
                 return i;
             i = (i + 1) & mask;
         }
@@ -290,13 +334,42 @@ class FlatMap
             (size_ + 1) * maxLoadDen > slots_.size() * maxLoadNum)
             rehash(slots_.empty() ? minCapacity : slots_.size() * 2);
         const std::size_t mask = slots_.size() - 1;
-        std::size_t i = homeOf(key);
+        const std::uint64_t h = hashOf(key);
+        const std::uint8_t tag = tagOf(h);
+        std::size_t i = static_cast<std::size_t>(h) & mask;
+        // Word-at-a-time probe mirroring findSlot; the first empty byte
+        // is the insertion point.
+        const std::uint8_t *f = filled_.data();
+        while (i + 8 <= filled_.size()) {
+            const std::uint64_t word = swarLoad(f + i);
+            const std::uint64_t mz = swarMatchMask(word, 0);
+            std::uint64_t mt = swarMatchMask(word, tag);
+            if (mz)
+                mt &= (mz & -mz) - 1;
+            while (mt) {
+                const std::size_t c =
+                    i + static_cast<std::size_t>(std::countr_zero(mt)) / 8;
+                if (slots_[c].first == key)
+                    return c;
+                mt &= mt - 1;
+            }
+            if (mz) {
+                i += static_cast<std::size_t>(std::countr_zero(mz)) / 8;
+                filled_[i] = tag;
+                slots_[i].first = key;
+                slots_[i].second = V{};
+                ++size_;
+                return i;
+            }
+            i += 8;
+        }
+        i &= mask;   // the word walk may stop exactly at the array end
         while (filled_[i]) {
-            if (slots_[i].first == key)
+            if (filled_[i] == tag && slots_[i].first == key)
                 return i;
             i = (i + 1) & mask;
         }
-        filled_[i] = 1;
+        filled_[i] = tag;
         slots_[i].first = key;
         slots_[i].second = V{};
         ++size_;
@@ -319,6 +392,7 @@ class FlatMap
             const std::size_t home = homeOf(slots_[j].first);
             if (((j - home) & mask) >= ((j - i) & mask)) {
                 slots_[i] = std::move(slots_[j]);
+                filled_[i] = filled_[j];
                 i = j;
             }
         }
@@ -340,7 +414,7 @@ class FlatMap
             std::size_t i = homeOf(old_slots[s].first);
             while (filled_[i])
                 i = (i + 1) & mask;
-            filled_[i] = 1;
+            filled_[i] = old_filled[s];
             slots_[i] = std::move(old_slots[s]);
         }
     }

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Fixed-capacity ring buffer for the simulator's bounded FIFO queues.
+ *
+ * The core model's in-flight queues (load queue, store queue, MSHRs) are
+ * small and hard-bounded by configuration, yet sit on the per-reference
+ * hot path: every simulated access pushes and pops them several times.
+ * std::deque pays segment bookkeeping and occasional allocation for
+ * unbounded growth these queues never use; the ring keeps the elements
+ * in one contiguous power-of-two array with index masking, so push/pop
+ * are a store/increment and the whole queue stays in one or two cache
+ * lines. FIFO semantics are identical to the deque usage it replaces.
+ */
+
+#ifndef PIPM_COMMON_RING_HH
+#define PIPM_COMMON_RING_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+/** Bounded FIFO over a power-of-two array. */
+template <typename T>
+class RingBuf
+{
+  public:
+    /** Sized to hold at least `capacity` elements (rounded up to 2^k). */
+    explicit RingBuf(std::size_t capacity = 1)
+    {
+        std::size_t cap = 1;
+        while (cap < capacity)
+            cap <<= 1;
+        buf_.resize(cap);
+        mask_ = cap - 1;
+    }
+
+    bool empty() const { return head_ == tail_; }
+    std::size_t size() const { return static_cast<std::size_t>(tail_ - head_); }
+
+    T &front() { return buf_[head_ & mask_]; }
+    const T &front() const { return buf_[head_ & mask_]; }
+    T &back() { return buf_[(tail_ - 1) & mask_]; }
+    const T &back() const { return buf_[(tail_ - 1) & mask_]; }
+
+    void
+    push_back(const T &v)
+    {
+        panic_if(size() > mask_, "RingBuf overflow beyond capacity ",
+                 mask_ + 1);
+        buf_[tail_ & mask_] = v;
+        ++tail_;
+    }
+
+    void pop_front() { ++head_; }
+
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    std::uint64_t head_ = 0;
+    std::uint64_t tail_ = 0;
+};
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_RING_HH

@@ -102,6 +102,7 @@ class ZipfSampler
         alpha_ = 1.0 / (1.0 - theta_);
         eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
                (1.0 - zeta2_ / zetan_);
+        halfPowTheta_ = std::pow(0.5, theta_);
     }
 
     /** Draw a rank in [0, n). */
@@ -112,7 +113,7 @@ class ZipfSampler
         const double uz = u * zetan_;
         if (uz < 1.0)
             return 0;
-        if (uz < 1.0 + std::pow(0.5, theta_))
+        if (uz < 1.0 + halfPowTheta_)
             return 1;
         const auto rank = static_cast<std::uint64_t>(
             static_cast<double>(n_) *
@@ -148,6 +149,7 @@ class ZipfSampler
     double zeta2_;
     double alpha_;
     double eta_;
+    double halfPowTheta_;   ///< pow(0.5, theta), hoisted off the draw path
 };
 
 } // namespace pipm

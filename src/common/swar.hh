@@ -1,0 +1,47 @@
+/**
+ * @file
+ * SWAR (SIMD-within-a-register) byte-scan helpers.
+ *
+ * The simulator's associative structures (SetAssoc tag strips, FlatMap
+ * occupancy arrays) filter probes through contiguous one-byte tag
+ * arrays. These helpers scan eight tag bytes per step with plain 64-bit
+ * arithmetic, which is what makes long probe runs cheap on the hot path.
+ */
+
+#ifndef PIPM_COMMON_SWAR_HH
+#define PIPM_COMMON_SWAR_HH
+
+#include <cstdint>
+#include <cstring>
+
+namespace pipm
+{
+
+/** Unaligned 64-bit load of eight consecutive tag bytes. */
+inline std::uint64_t
+swarLoad(const std::uint8_t *p)
+{
+    std::uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+}
+
+/**
+ * Bit 7 of every byte of `word` equal to `b` is set in the result — the
+ * classic zero-byte detector applied to `word ^ broadcast(b)`. Borrow
+ * propagation can false-flag bytes *above* the lowest true match (e.g.
+ * an 0x01 byte above a 0x00), never below it, and never misses a match:
+ * the lowest set bit is exact, and higher candidates just need
+ * confirming, which every caller does anyway (key compare, or taking
+ * only the lowest bit).
+ */
+inline std::uint64_t
+swarMatchMask(std::uint64_t word, std::uint8_t b)
+{
+    const std::uint64_t x = word ^ (0x0101010101010101ull * b);
+    return (x - 0x0101010101010101ull) & ~x & 0x8080808080808080ull;
+}
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_SWAR_HH

@@ -246,6 +246,23 @@ FaultInjector::advanceBreakers(Cycles now)
     }
 }
 
+Cycles
+FaultInjector::nextBreakerEventAt() const
+{
+    Cycles next = maxCycles;
+    for (const std::uint64_t g : hotBreakers_) {
+        const Breaker &b = breakers_.find(g)->second;
+        if (b.open) {
+            next = std::min(next, b.openUntil);
+        } else if (b.exp > 0 && b.strikes == 0) {
+            next = std::min(next, b.halfOpenAt + breakerWindow_);
+        }
+        // !open && exp > 0 && strikes > 0: only noteMetaRepair() can move
+        // this breaker, and its call sites invalidate the cached horizon.
+    }
+    return next;
+}
+
 void
 FaultInjector::generateCrashSchedule()
 {

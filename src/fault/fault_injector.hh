@@ -237,6 +237,39 @@ class FaultInjector
      */
     void advanceBreakers(Cycles now);
 
+    // ---- Event-horizon peeks (DESIGN.md §9) ------------------------------
+    // MultiHostSystem::tick() only runs its slow path when simulated time
+    // reaches the earliest due event; these expose the injector-owned
+    // schedule heads without consuming them.
+
+    /** Time of the next unconsumed crash/rejoin event (maxCycles: none). */
+    Cycles
+    nextCrashEventAt() const
+    {
+        return crashCursor_ < crashSchedule_.size()
+                   ? crashSchedule_[crashCursor_].at
+                   : maxCycles;
+    }
+
+    /** Time of the next unconsumed corruption event (maxCycles: none). */
+    Cycles
+    nextMetaCorruptEventAt() const
+    {
+        return metaCursor_ < metaSchedule_.size()
+                   ? metaSchedule_[metaCursor_].at
+                   : maxCycles;
+    }
+
+    /**
+     * Earliest pending breaker transition among the hot breakers: an
+     * open breaker's half-open time, or a probation breaker's
+     * trip-history reset time (maxCycles: none pending). A probation
+     * breaker with strikes outstanding has no timed transition — its
+     * next change comes through noteMetaRepair(), which the system
+     * layer treats as a horizon invalidation point.
+     */
+    Cycles nextBreakerEventAt() const;
+
     // ---- Detection-layer helpers -----------------------------------------
 
     /** The fault configuration the injector was built with. */

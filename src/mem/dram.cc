@@ -1,9 +1,21 @@
 #include "mem/dram.hh"
 
 #include <algorithm>
+#include <bit>
 
 namespace pipm
 {
+
+namespace
+{
+
+bool
+isPow2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+} // namespace
 
 DramDevice::DramDevice(const DramConfig &cfg, std::string name)
     : cfg_(cfg),
@@ -18,6 +30,16 @@ DramDevice::DramDevice(const DramConfig &cfg, std::string name)
       busFreeAt_(cfg.channels, 0),
       stats_(std::move(name))
 {
+    pow2Decode_ = isPow2(cfg.rowBytes) && isPow2(cfg.channels) &&
+                  isPow2(cfg.banksPerChannel);
+    if (pow2Decode_) {
+        rowShift_ = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{cfg.rowBytes}));
+        channelShift_ = static_cast<unsigned>(
+            std::countr_zero(std::uint64_t{cfg.channels}));
+        channelMask_ = cfg.channels - 1;
+        bankMask_ = cfg.banksPerChannel - 1;
+    }
     stats_.addCounter(&reads, "reads", "read accesses");
     stats_.addCounter(&writes, "writes", "write accesses");
     stats_.addCounter(&rowHits, "row_hits", "row-buffer hits");
@@ -29,13 +51,26 @@ DramDevice::DramDevice(const DramConfig &cfg, std::string name)
 Cycles
 DramDevice::access(PhysAddr pa, Cycles now, bool is_write)
 {
-    const std::uint64_t row_global = pa / cfg_.rowBytes;
-    const unsigned channel =
-        static_cast<unsigned>(row_global % cfg_.channels);
-    const std::uint64_t row = row_global / cfg_.channels;
+    // Address decode. The shift/mask path computes exactly the same
+    // row/channel/bank as the divisions whenever every divisor is a
+    // power of two (true for all shipped configs); the divide path
+    // keeps arbitrary organisations working.
+    std::uint64_t row_global, row;
+    unsigned channel, bank_in_channel;
+    if (pow2Decode_) {
+        row_global = pa >> rowShift_;
+        channel = static_cast<unsigned>(row_global & channelMask_);
+        row = row_global >> channelShift_;
+        bank_in_channel = static_cast<unsigned>(row & bankMask_);
+    } else {
+        row_global = pa / cfg_.rowBytes;
+        channel = static_cast<unsigned>(row_global % cfg_.channels);
+        row = row_global / cfg_.channels;
+        bank_in_channel =
+            static_cast<unsigned>(row % cfg_.banksPerChannel);
+    }
     const unsigned bank_idx =
-        channel * cfg_.banksPerChannel +
-        static_cast<unsigned>(row % cfg_.banksPerChannel);
+        channel * cfg_.banksPerChannel + bank_in_channel;
     Bank &bank = banks_[bank_idx];
 
     const Cycles arrival = now + controller_;

@@ -64,6 +64,14 @@ class DramDevice
     DramConfig cfg_;
     Cycles tRCD_, tCL_, tRP_, tRC_, controller_;
     Cycles burstCycles_;
+    // Shift/mask address decode, valid when every divisor is a power of
+    // two (pow2Decode_); computes the same decomposition as the integer
+    // divisions in access().
+    bool pow2Decode_ = false;
+    unsigned rowShift_ = 0;
+    unsigned channelShift_ = 0;
+    std::uint64_t channelMask_ = 0;
+    std::uint64_t bankMask_ = 0;
     std::vector<Bank> banks_;         ///< channels * banksPerChannel
     std::vector<Cycles> busFreeAt_;   ///< per-channel data bus
     StatGroup stats_;

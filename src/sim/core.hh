@@ -16,9 +16,9 @@
 #define PIPM_SIM_CORE_HH
 
 #include <cstdint>
-#include <deque>
 
 #include "common/config.hh"
+#include "common/ring.hh"
 #include "common/types.hh"
 
 namespace pipm
@@ -28,7 +28,11 @@ namespace pipm
 class OooCore
 {
   public:
-    explicit OooCore(const CoreConfig &cfg) : cfg_(cfg) {}
+    explicit OooCore(const CoreConfig &cfg)
+        : cfg_(cfg), loads_(cfg.loadQueue), misses_(cfg.mshrs),
+          stores_(cfg.storeQueue)
+    {
+    }
 
     /** Current dispatch time of the core. */
     Cycles now() const { return cycle_; }
@@ -147,9 +151,11 @@ class OooCore
     Cycles cycle_ = 0;
     std::uint64_t instrCount_ = 0;
     std::uint32_t dispatchSlots_ = 0;
-    std::deque<Load> loads_;
-    std::deque<Cycles> misses_;
-    std::deque<Cycles> stores_;
+    // In-flight queues, hard-bounded by the config (the issue loops
+    // below drain to strictly under the bound before every push).
+    RingBuf<Load> loads_;
+    RingBuf<Cycles> misses_;
+    RingBuf<Cycles> stores_;
 };
 
 } // namespace pipm

@@ -5,12 +5,14 @@
 #include <memory>
 #include <vector>
 
+#include "common/env.hh"
 #include "common/hash.hh"
 #include "common/logging.hh"
 #include "obs/metrics_registry.hh"
 #include "obs/stats_json.hh"
 #include "obs/trace.hh"
 #include "sim/core.hh"
+#include "sim/sched.hh"
 #include "sim/system.hh"
 
 namespace pipm
@@ -19,26 +21,15 @@ namespace pipm
 namespace
 {
 
-/** Numeric env override following the PIPM_CHECK_INVARIANTS pattern. */
-std::uint64_t
-envU64(const char *name, std::uint64_t fallback)
+/** What the inner loop must actually do, resolved once per run so the
+ *  measured loop tests one bit instead of chasing pointers (§9). */
+enum RunMode : unsigned
 {
-    if (const char *env = std::getenv(name)) {
-        if (*env != '\0')
-            return std::strtoull(env, nullptr, 10);
-    }
-    return fallback;
-}
-
-std::string
-envStr(const char *name, std::string fallback)
-{
-    if (const char *env = std::getenv(name)) {
-        if (*env != '\0')
-            return env;
-    }
-    return fallback;
-}
+    modeFaults = 1u << 0,     ///< crash schedule: dead-host branch live
+    modeDetection = 1u << 1,  ///< lease detector: stall-window branch live
+    modeObs = 1u << 2,        ///< telemetry interval accounting
+    modeCheck = 1u << 3,      ///< PIPM_CHECK_INVARIANTS cadence
+};
 
 } // namespace
 
@@ -107,12 +98,40 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     bool measuring = false;
     std::uint64_t done_count = 0;
 
-    std::uint64_t check_every = run.checkInvariantsEvery;
-    if (const char *env = std::getenv("PIPM_CHECK_INVARIANTS")) {
-        if (*env != '\0')
-            check_every = std::strtoull(env, nullptr, 10);
-    }
+    const std::uint64_t check_every =
+        envU64("PIPM_CHECK_INVARIANTS", run.checkInvariantsEvery);
     std::uint64_t accesses_since_check = 0;
+
+    // ---- Scheduler selection (DESIGN.md §9) -----------------------------
+    // The indexed min-heap and the historical linear scan produce the
+    // same schedule by construction (see sim/sched.hh); the scan is kept
+    // as the reference implementation behind PIPM_SCHED=scan so the
+    // bit-identity claim stays testable.
+    std::string sched_mode = run.scheduler;
+    if (sched_mode.empty())
+        sched_mode = envStr("PIPM_SCHED", "heap");
+    const bool heap_sched = sched_mode == "heap";
+    panic_if(!heap_sched && sched_mode != "scan",
+             "PIPM_SCHED must be 'heap' or 'scan', got '", sched_mode,
+             "'");
+    CoreScheduler sched(heap_sched ? cores.size() : 0);
+
+    unsigned mode = 0;
+    if (system.faultInjector())
+        mode |= modeFaults;
+    if (system.detectionEnabled())
+        mode |= modeDetection;
+    if (obs_on)
+        mode |= modeObs;
+    if (check_every)
+        mode |= modeCheck;
+
+    // Warmup bookkeeping: number of live cores still short of their
+    // warmup refs. Replaces the historical all-cores rescan; a slot
+    // leaves the count when its refs reach the threshold or when it
+    // retires early (never-rejoining host crash) while still cold.
+    std::uint64_t warm_pending =
+        run.warmupRefsPerCore ? cores.size() : 0;
 
     // Telemetry: snapshot every registered stat group at interval
     // boundaries. When export is off no registry exists and the measured
@@ -165,17 +184,26 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
     };
 
     while (done_count < cores.size()) {
-        // Advance the core with the smallest local clock.
-        CoreSlot *next = nullptr;
-        for (auto &slot : cores) {
-            if (slot.done)
-                continue;
-            if (!next || slot.model.now() < next->model.now())
-                next = &slot;
+        // Advance the core with the smallest local clock (first-min-wins
+        // among ties: lowest slot index). The heap pops it in O(log n);
+        // the reference scan walks every live slot.
+        std::uint32_t idx;
+        if (heap_sched) {
+            idx = sched.top();
+        } else {
+            const CoreSlot *pick = nullptr;
+            for (const auto &slot : cores) {
+                if (slot.done)
+                    continue;
+                if (!pick || slot.model.now() < pick->model.now())
+                    pick = &slot;
+            }
+            panic_if(!pick, "no runnable core");
+            idx = static_cast<std::uint32_t>(pick - cores.data());
         }
-        panic_if(!next, "no runnable core");
+        CoreSlot *next = &cores[idx];
 
-        if (!system.hostAlive(next->host)) {
+        if ((mode & modeFaults) && !system.hostAlive(next->host)) {
             // The issuing host is down. A host that never rejoins retires
             // this core; otherwise park its clock at the rejoin time so
             // the min-clock scheduler resumes it right after the rejoin
@@ -186,11 +214,20 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
                 next->model.drainAll();
                 next->done = true;
                 ++done_count;
+                if (warm_pending && next->refs < run.warmupRefsPerCore)
+                    --warm_pending;
+                if (heap_sched)
+                    sched.remove(idx);
                 continue;
             }
             if (next->model.now() < up)
                 next->model.stall(up - next->model.now());
+            // The inlined event horizon makes this a single compare when
+            // the rejoin is still in the future (the historical code ran
+            // the full subsystem chain on every park pass).
             system.tick(next->model.now());
+            if (heap_sched)
+                sched.update(idx, next->model.now());
             continue;
         }
 
@@ -198,38 +235,31 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         // at the end of the stall window. The lease detector may fence
         // the host first, in which case the dead-host branch above takes
         // over on the next pass.
-        const Cycles stalled_until =
-            system.hostStalledUntil(next->host, next->model.now());
-        if (stalled_until > next->model.now()) {
-            next->model.stall(stalled_until - next->model.now());
-            system.tick(next->model.now());
-            continue;
+        if (mode & modeDetection) {
+            const Cycles stalled_until =
+                system.hostStalledUntil(next->host, next->model.now());
+            if (stalled_until > next->model.now()) {
+                next->model.stall(stalled_until - next->model.now());
+                system.tick(next->model.now());
+                if (heap_sched)
+                    sched.update(idx, next->model.now());
+                continue;
+            }
         }
 
-        if (!measuring) {
+        if (!measuring && warm_pending == 0) {
             // Warmup ends when every core has issued its warmup refs.
             // Cores retired by a never-rejoining host crash are exempt.
-            bool all_warm = true;
-            for (const auto &slot : cores) {
-                if (slot.done)
-                    continue;
-                if (slot.refs < run.warmupRefsPerCore) {
-                    all_warm = false;
-                    break;
-                }
+            measuring = true;
+            system.resetStats();
+            if (obs_on) {
+                // Baseline right after the reset: interval deltas sum
+                // to the end-of-run totals by construction.
+                registry.begin();
             }
-            if (all_warm) {
-                measuring = true;
-                system.resetStats();
-                if (obs_on) {
-                    // Baseline right after the reset: interval deltas sum
-                    // to the end-of-run totals by construction.
-                    registry.begin();
-                }
-                for (auto &slot : cores) {
-                    slot.measureStart = slot.model.now();
-                    slot.measureStartInstr = slot.model.instructions();
-                }
+            for (auto &slot : cores) {
+                slot.measureStart = slot.model.now();
+                slot.measureStartInstr = slot.model.instructions();
             }
         }
 
@@ -238,8 +268,11 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
         system.tick(next->model.now());
         // The tick may have processed a crash event that just killed this
         // very host; the in-flight access dies with it.
-        if (!system.hostAlive(next->host))
+        if ((mode & modeFaults) && !system.hostAlive(next->host)) {
+            if (heap_sched)
+                sched.update(idx, next->model.now());
             continue;
+        }
         const AccessResult res =
             system.access(next->host, next->core, ref, next->model.now());
         if (res.stall)
@@ -250,13 +283,19 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             next->model.issueStore(res.latency);
 
         ++next->refs;
+        if (warm_pending && next->refs == run.warmupRefsPerCore)
+            --warm_pending;
         if (next->refs >= total_refs) {
             next->model.drainAll();
             next->done = true;
             ++done_count;
+            if (heap_sched)
+                sched.remove(idx);
+        } else if (heap_sched) {
+            sched.update(idx, next->model.now());
         }
 
-        if (measuring && obs_on) {
+        if (measuring && (mode & modeObs)) {
             ++obs_accesses;
             if (++obs_since_close >= obs_interval) {
                 obs_since_close = 0;
@@ -269,7 +308,8 @@ runExperiment(const SystemConfig &cfg, Scheme scheme,
             accesses_since_sample = 0;
             sample_footprint();
         }
-        if (check_every && ++accesses_since_check >= check_every) {
+        if ((mode & modeCheck) &&
+            ++accesses_since_check >= check_every) {
             accesses_since_check = 0;
             system.checkInvariants();
         }

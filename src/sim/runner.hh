@@ -38,6 +38,14 @@ struct RunConfig
      * check regardless of this knob.
      */
     std::uint64_t checkInvariantsEvery = 0;
+    /**
+     * Core scheduler: "heap" (indexed min-heap, the default) or "scan"
+     * (the historical linear min-clock scan, kept as the reference
+     * implementation). Both produce bit-identical runs; the knob exists
+     * so that claim stays testable. Empty: resolve from PIPM_SCHED,
+     * defaulting to "heap". Anything else panics.
+     */
+    std::string scheduler;
 
     // ---- Observability (DESIGN.md §10) ----------------------------------
 

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Indexed binary min-heap scheduling the runner's core slots.
+ *
+ * The experiment runner advances the core with the smallest local clock
+ * next (global time order keeps contention on shared links, directory
+ * slices and DRAM banks causally ordered). The historical implementation
+ * rescanned every slot per reference — O(numHosts x coresPerHost) — with
+ * a strict-less comparison, so among equal clocks the *lowest slot
+ * index* won. This heap reproduces that order exactly by keying on the
+ * pair (clock, slot index): popping the minimum yields the first slot a
+ * linear first-min-wins scan would have picked, making heap and scan
+ * schedules — and therefore whole runs — bit-identical.
+ *
+ * The heap stores the (clock, slot) key inline in each node, so the
+ * comparisons of a sift touch only the heap array itself, and sifts are
+ * hole-based: the moving node is written once at its final position
+ * instead of swapped level by level. Clocks only move forward in the
+ * runner, so a re-key after advancing the popped slot is one sift-down;
+ * retiring a finished slot is a replace-with-last plus one sift. Both
+ * directions are implemented anyway so the structure stays a general
+ * indexed priority queue (and the model test can drive it with
+ * arbitrary keys).
+ */
+
+#ifndef PIPM_SIM_SCHED_HH
+#define PIPM_SIM_SCHED_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+/** Min-heap over core slots keyed on (local clock, slot index). */
+class CoreScheduler
+{
+  public:
+    /**
+     * Build the scheduler over `n` slots, all with clock 0. The initial
+     * heap array is [0, 1, ..., n-1], which is a valid heap for equal
+     * keys and makes slot 0 the first pick — matching the scan.
+     */
+    explicit CoreScheduler(std::size_t n)
+        : clock_(n, 0), heap_(n), pos_(n)
+    {
+        for (std::size_t i = 0; i < n; ++i) {
+            heap_[i] = Node{0, static_cast<std::uint32_t>(i)};
+            pos_[i] = static_cast<std::uint32_t>(i);
+        }
+    }
+
+    /** Number of live (not yet removed) slots. */
+    std::size_t size() const { return heap_.size(); }
+
+    bool empty() const { return heap_.empty(); }
+
+    /** Whether `slot` is still scheduled. */
+    bool contains(std::uint32_t slot) const
+    {
+        return slot < pos_.size() && pos_[slot] != npos;
+    }
+
+    /** Current clock of a live slot. */
+    Cycles clockOf(std::uint32_t slot) const { return clock_[slot]; }
+
+    /**
+     * The slot a first-min-wins linear scan would pick: minimum clock,
+     * lowest index among ties.
+     */
+    std::uint32_t
+    top() const
+    {
+        panic_if(heap_.empty(), "CoreScheduler::top on empty heap");
+        return heap_[0].slot;
+    }
+
+    /** Re-key `slot` to `clock` and restore the heap order. */
+    void
+    update(std::uint32_t slot, Cycles clock)
+    {
+        panic_if(!contains(slot), "CoreScheduler::update of removed slot");
+        // A grown (or unchanged) key can only violate the heap order
+        // towards the children, a shrunken one only towards the parent —
+        // one directed sift each. The runner always advances clocks, so
+        // it always takes the first arm.
+        const bool grew = clock >= clock_[slot];
+        clock_[slot] = clock;
+        const Node v{clock, slot};
+        const std::uint32_t i = pos_[slot];
+        if (grew)
+            siftDown(i, v);
+        else
+            siftUp(i, v);
+    }
+
+    /** Retire `slot` (core finished or parked forever). */
+    void
+    remove(std::uint32_t slot)
+    {
+        panic_if(!contains(slot), "CoreScheduler::remove of removed slot");
+        const std::uint32_t i = pos_[slot];
+        const Node last = heap_.back();
+        heap_.pop_back();
+        pos_[slot] = npos;
+        if (last.slot == slot)
+            return;
+        // Re-seat the displaced last node at the vacated position; it
+        // may need to move either way relative to its new neighbours.
+        if (i > 0 && before(last, heap_[(i - 1) / 2]))
+            siftUp(i, last);
+        else
+            siftDown(i, last);
+    }
+
+  private:
+    static constexpr std::uint32_t npos = ~std::uint32_t{0};
+
+    /** One heap node: the key, stored inline so sifts stay local. */
+    struct Node
+    {
+        Cycles clock;
+        std::uint32_t slot;
+    };
+
+    /** Strict weak order matching the scan's first-min-wins pick. */
+    static bool
+    before(const Node &a, const Node &b)
+    {
+        if (a.clock != b.clock)
+            return a.clock < b.clock;
+        return a.slot < b.slot;
+    }
+
+    /** Sink `v` from position `i` (hole-based: one final store). */
+    void
+    siftDown(std::uint32_t i, Node v)
+    {
+        const std::uint32_t n = static_cast<std::uint32_t>(heap_.size());
+        for (;;) {
+            const std::uint32_t l = 2 * i + 1;
+            if (l >= n)
+                break;
+            const std::uint32_t r = l + 1;
+            const std::uint32_t m =
+                (r < n && before(heap_[r], heap_[l])) ? r : l;
+            if (!before(heap_[m], v))
+                break;
+            heap_[i] = heap_[m];
+            pos_[heap_[i].slot] = i;
+            i = m;
+        }
+        heap_[i] = v;
+        pos_[v.slot] = i;
+    }
+
+    /** Raise `v` from position `i` (hole-based). */
+    void
+    siftUp(std::uint32_t i, Node v)
+    {
+        while (i > 0) {
+            const std::uint32_t p = (i - 1) / 2;
+            if (!before(v, heap_[p]))
+                break;
+            heap_[i] = heap_[p];
+            pos_[heap_[i].slot] = i;
+            i = p;
+        }
+        heap_[i] = v;
+        pos_[v.slot] = i;
+    }
+
+    std::vector<Cycles> clock_;        ///< key per slot (clockOf)
+    std::vector<Node> heap_;           ///< nodes with inline keys
+    std::vector<std::uint32_t> pos_;   ///< slot -> heap position (npos: out)
+};
+
+} // namespace pipm
+
+#endif // PIPM_SIM_SCHED_HH

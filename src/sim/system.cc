@@ -77,14 +77,15 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
     hostDownUntil_.assign(cfg.numHosts, 0);
 
     // Pre-size the sparse memory image for the written working set so
-    // rehash churn doesn't dominate early-fill cost. The bound matters
-    // in both directions: too small re-rehashes during warmup, too
-    // large spreads the table past the LLC and turns every probe into
-    // a DRAM miss (the image holds touched lines, not all of shared
-    // memory).
+    // rehash churn doesn't dominate early-fill cost (the image holds
+    // touched lines, not all of shared memory, and is only ever probed
+    // point-wise — capacity history is unobservable). Benchmark-scale
+    // runs write a few hundred thousand distinct lines, so the cap is
+    // sized to absorb them without growth rehashes; the table is past
+    // LLC size either way at that point.
     const std::uint64_t shared_lines =
         space_->sharedPages() * linesPerPage;
-    mem_.reserve(std::min<std::uint64_t>(shared_lines, 1u << 15));
+    mem_.reserve(std::min<std::uint64_t>(shared_lines, 1u << 17));
 
     if (cfg.fault.enabled) {
         faults_ = std::make_unique<FaultInjector>(
@@ -158,6 +159,8 @@ MultiHostSystem::MultiHostSystem(const SystemConfig &cfg, Scheme scheme,
                 cfg.pipm.infiniteLocalCache);
         }
     }
+
+    fastPrivate_ = !cfg.tlb.enabled;
 
     if (usesPipmMechanism(scheme)) {
         globalRemap_ = std::make_unique<RemapCache>(
@@ -273,6 +276,24 @@ AccessResult
 MultiHostSystem::access(HostId h, CoreId c, const MemRef &ref,
                         Cycles now_in, std::uint64_t write_data)
 {
+    // Private-reference fast path (DESIGN.md §9): with no TLB modelled
+    // a private access touches only this host's own hierarchy — skip
+    // the virtual-namespace and shared-path plumbing below. Counters
+    // and panics match the general path exactly.
+    if (!ref.shared && fastPrivate_) {
+        panic_if(h >= cfg_.numHosts, "host id out of range");
+        panic_if(!hostAlive_[h], "access issued by crashed host ", int(h));
+        demandAccesses.inc();
+        const Cycles stall = takePendingStall(h, c);
+        const PhysAddr pa = space_->privateAddr(
+            h, ref.page * pageBytes +
+                   static_cast<std::uint64_t>(ref.lineIdx) * lineBytes);
+        std::uint64_t data = 0;
+        const Cycles lat = localAccess(h, c, pa, ref.op, now_in + stall,
+                                       write_data, &data);
+        return {lat, stall, data};
+    }
+
     Cycles now = now_in;
     panic_if(h >= cfg_.numHosts, "host id out of range");
     panic_if(!hostAlive_[h], "access issued by crashed host ", int(h));
@@ -371,24 +392,19 @@ MultiHostSystem::localAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
 {
     CacheHierarchy &hier = *hosts_[h].caches;
     const LineAddr line = lineOf(pa);
-    const auto r = hier.lookup(c, line);
+    const bool is_write = op == MemOp::write;
+    const auto a = hier.cachedAccess(c, line, is_write, wdata);
 
-    if (r.level == HitLevel::l1) {
-        if (op == MemOp::write)
+    if (a.level != HitLevel::miss) {
+        if (is_write && !a.completed) {
+            // Non-writable state: recordWrite carries the panic.
             hier.recordWrite(c, line, wdata);
-        else
-            *rdata = hier.dataOf(line);
-        return hier.l1RoundTrip();
-    }
-    if (r.level == HitLevel::llc) {
-        const Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip();
-        auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
-        handleEvictions(h, evs, now);
-        if (op == MemOp::write)
-            hier.recordWrite(c, line, wdata);
-        else
-            *rdata = hier.dataOf(line);
-        return lat;
+        } else if (!is_write) {
+            *rdata = a.data;
+        }
+        return a.level == HitLevel::l1
+                   ? hier.l1RoundTrip()
+                   : hier.l1RoundTrip() + hier.llcRoundTrip();
     }
 
     // Miss: local lines are host-exclusive (no cross-host coherence for
@@ -397,11 +413,10 @@ MultiHostSystem::localAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
                  cfg_.localDirectory.roundTrip;
     lat += hosts_[h].dram->access(pa - cfg_.localBase(h), now, false);
     const std::uint64_t data = mem_.read(line);
-    auto evs = hier.fill(c, line, HostState::M, false, data);
+    auto evs = hier.fillAccess(c, line, HostState::M, false, data,
+                               is_write, wdata);
     handleEvictions(h, evs, now);
-    if (op == MemOp::write)
-        hier.recordWrite(c, line, wdata);
-    else
+    if (!is_write)
         *rdata = data;
     return lat;
 }
@@ -416,24 +431,19 @@ MultiHostSystem::idealAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
     // deliberately not modelled (it is an idealisation, §5.1.3).
     CacheHierarchy &hier = *hosts_[h].caches;
     const LineAddr line = lineOf(pa);
-    const auto r = hier.lookup(c, line);
+    const bool is_write = op == MemOp::write;
+    const auto a = hier.cachedAccess(c, line, is_write, wdata);
 
-    if (r.level == HitLevel::l1) {
-        if (op == MemOp::write)
+    if (a.level != HitLevel::miss) {
+        if (is_write && !a.completed) {
+            // Non-writable state: recordWrite carries the panic.
             hier.recordWrite(c, line, wdata);
-        else
-            *rdata = hier.dataOf(line);
-        return hier.l1RoundTrip();
-    }
-    if (r.level == HitLevel::llc) {
-        const Cycles lat = hier.l1RoundTrip() + hier.llcRoundTrip();
-        auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
-        handleEvictions(h, evs, now);
-        if (op == MemOp::write)
-            hier.recordWrite(c, line, wdata);
-        else
-            *rdata = hier.dataOf(line);
-        return lat;
+        } else if (!is_write) {
+            *rdata = a.data;
+        }
+        return a.level == HitLevel::l1
+                   ? hier.l1RoundTrip()
+                   : hier.l1RoundTrip() + hier.llcRoundTrip();
     }
 
     sharedLlcMisses.inc();
@@ -444,11 +454,10 @@ MultiHostSystem::idealAccess(HostId h, CoreId c, PhysAddr pa, MemOp op,
         (pa - cfg_.cxlBase()) % cfg_.localBytesPerHost();
     lat += hosts_[h].dram->access(device_addr, now, false);
     const std::uint64_t data = mem_.read(line);
-    auto evs = hier.fill(c, line, HostState::M, false, data);
+    auto evs = hier.fillAccess(c, line, HostState::M, false, data,
+                               is_write, wdata);
     handleEvictions(h, evs, now);
-    if (op == MemOp::write)
-        hier.recordWrite(c, line, wdata);
-    else
+    if (!is_write)
         *rdata = data;
     avgSharedMissLatency.sample(static_cast<double>(lat));
     avgLocalMissLatency.sample(static_cast<double>(lat));
@@ -632,23 +641,24 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     const bool is_write = op == MemOp::write;
 
     // ---- Cache hits ----------------------------------------------------
-    const auto r = hier.lookup(c, line);
-    if (r.level != HitLevel::miss) {
+    const auto a = hier.cachedAccess(c, line, is_write, wdata);
+    if (a.level != HitLevel::miss) {
         Cycles lat = hier.l1RoundTrip();
-        if (r.level == HitLevel::llc) {
+        if (a.level == HitLevel::llc)
             lat += hier.llcRoundTrip();
-            auto evs = hier.fill(c, line, r.state, false, hier.dataOf(line));
-            handleEvictions(h, evs, now);
-        }
         if (!is_write) {
-            *rdata = hier.dataOf(line);
+            *rdata = a.data;
             return lat;
         }
-        if (r.state == HostState::S) {
-            lat += upgrade(h, line, now);
-            hier.setState(line, HostState::M);
+        if (!a.completed) {
+            // S copy: upgrade first. Any other non-writable state hits
+            // recordWrite's panic, as it always has.
+            if (a.state == HostState::S) {
+                lat += upgrade(h, line, now);
+                hier.setState(line, HostState::M);
+            }
+            hier.recordWrite(c, line, wdata);
         }
-        hier.recordWrite(c, line, wdata);
         return lat;
     }
 
@@ -685,11 +695,10 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
                                           now, false);
             const std::uint64_t data = mem_.read(lineOf(lpa));
             pipm_->localOwnerAccess(h, page);
-            auto evs = hier.fill(c, line, HostState::ME, false, data);
+            auto evs = hier.fillAccess(c, line, HostState::ME, false, data,
+                                       is_write, wdata);
             handleEvictions(h, evs, now);
-            if (is_write)
-                hier.recordWrite(c, line, wdata);
-            else
+            if (!is_write)
                 *rdata = data;
             localServedMisses.inc();
             avgSharedMissLatency.sample(static_cast<double>(lat));
@@ -843,13 +852,11 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
                                         now);
 
-        auto evs = hier.fill(c, line,
-                             is_write ? HostState::M : HostState::S,
-                             is_write, data);
+        auto evs = hier.fillAccess(c, line,
+                                   is_write ? HostState::M : HostState::S,
+                                   is_write, data, is_write, wdata);
         handleEvictions(h, evs, now);
-        if (is_write)
-            hier.recordWrite(c, line, wdata);
-        else
+        if (!is_write)
             *rdata = data;
 
         interHostAccesses.inc();
@@ -885,7 +892,8 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
             entry->add(h);
             lat += hosts_[h].link->transfer(LinkDir::toHost,
                                             CxlFlits::data, now);
-            auto evs = hier.fill(c, line, HostState::S, false, data);
+            auto evs = hier.fillAccess(c, line, HostState::S, false, data,
+                                       false, 0);
             handleEvictions(h, evs, now);
             *rdata = data;
             cxlServedMisses.inc();
@@ -941,9 +949,9 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         entry->ownerEpoch = epochOf(h);
         lat += hosts_[h].link->transfer(LinkDir::toHost, CxlFlits::data,
                                         now);
-        auto evs = hier.fill(c, line, HostState::M, true, data);
+        auto evs = hier.fillAccess(c, line, HostState::M, true, data,
+                                   true, wdata);
         handleEvictions(h, evs, now);
-        hier.recordWrite(c, line, wdata);
         cxlServedMisses.inc();
         avgSharedMissLatency.sample(static_cast<double>(lat));
         avgCxlMissLatency.sample(static_cast<double>(lat));
@@ -1005,11 +1013,10 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         ne.sharers = 1u << h;
         ne.ownerEpoch = epochOf(h);
         dirAllocate(line, ne, now);
-        auto evs = hier.fill(c, line, HostState::M, is_write, data);
+        auto evs = hier.fillAccess(c, line, HostState::M, is_write, data,
+                                   is_write, wdata);
         handleEvictions(h, evs, now);
-        if (is_write)
-            hier.recordWrite(c, line, wdata);
-        else
+        if (!is_write)
             *rdata = data;
         if (ih.revoked)
             performRevocation(mh, page, now);
@@ -1084,11 +1091,10 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
         const HostState fill_state =
             is_write ? HostState::M
                      : (owner_keeps_s ? HostState::S : HostState::M);
-        auto evs = hier.fill(c, line, fill_state, is_write, data);
+        auto evs = hier.fillAccess(c, line, fill_state, is_write, data,
+                                   is_write, wdata);
         handleEvictions(h, evs, now);
-        if (is_write)
-            hier.recordWrite(c, line, wdata);
-        else
+        if (!is_write)
             *rdata = data;
 
         if (ih.revoked)
@@ -1146,11 +1152,10 @@ MultiHostSystem::cxlAccess(HostId h, CoreId c, std::uint64_t shared_idx,
     ne.sharers = 1u << h;
     ne.ownerEpoch = epochOf(h);
     dirAllocate(line, ne, now);
-    auto evs = hier.fill(c, line, HostState::M, is_write, data);
+    auto evs = hier.fillAccess(c, line, HostState::M, is_write, data,
+                               is_write, wdata);
     handleEvictions(h, evs, now);
-    if (is_write)
-        hier.recordWrite(c, line, wdata);
-    else
+    if (!is_write)
         *rdata = data;
     cxlServedMisses.inc();
     avgSharedMissLatency.sample(static_cast<double>(lat));
@@ -1402,7 +1407,7 @@ MultiHostSystem::handleEviction(HostId h,
 }
 
 void
-MultiHostSystem::tick(Cycles now)
+MultiHostSystem::tickSlow(Cycles now)
 {
     if (faults_)
         processCrashEvents(now);
@@ -1424,6 +1429,38 @@ MultiHostSystem::tick(Cycles now)
         if (nextEpoch_ <= now)
             nextEpoch_ = now + cfg_.osEpochCycles();
     }
+    recomputeEventHorizon();
+}
+
+void
+MultiHostSystem::recomputeEventHorizon()
+{
+    Cycles next = maxCycles;
+    if (faults_)
+        next = std::min(next, faults_->nextCrashEventAt());
+    if (metaFaults_) {
+        next = std::min(next, faults_->nextMetaCorruptEventAt());
+        next = std::min(next, nextMetaScrub_);
+        next = std::min(next, faults_->nextBreakerEventAt());
+    }
+    if (detection_) {
+        for (unsigned i = 0; i < cfg_.numHosts; ++i) {
+            const auto h = static_cast<HostId>(i);
+            // Every heartbeat grid point must be a horizon point even
+            // though most renewals are silent: delivering one late —
+            // past a crash that kills the sender — would renew a lease
+            // the un-elided simulation lets expire.
+            next = std::min(next, nextHeartbeat_[h]);
+            if (trusted_[h])
+                next = std::min(next,
+                                lastHeartbeat_[h] + leaseCycles_ + 1);
+            if (zombieReadmitAt_[h])
+                next = std::min(next, zombieReadmitAt_[h]);
+        }
+    }
+    if (osPolicy_)
+        next = std::min(next, nextEpoch_);
+    nextEventCycle_ = next;
 }
 
 void
@@ -1491,6 +1528,9 @@ MultiHostSystem::suspectHost(HostId h, Cycles now)
         // Real crash finally detected: run the deferred reclamation.
         reclaimHost(h, now);
     }
+    // Reachable from access() via the retry engine, not just from
+    // tickSlow(): the lease/readmit state just re-armed.
+    invalidateEventHorizon();
     checkInvariants();
 }
 
@@ -1592,6 +1632,7 @@ MultiHostSystem::crashHost(HostId h, Cycles now, Cycles down_until)
         // in-flight traffic runs against it.
         needsReclaim_[h] = 1;
     }
+    invalidateEventHorizon();   // tests crash hosts outside tickSlow()
     checkInvariants();
 }
 
@@ -1944,6 +1985,9 @@ MultiHostSystem::resolveDirCorruption(LineAddr line, Cycles now)
         return 0;
     faults_->metaScrubChecks.inc();
     faults_->noteMetaRepair(pageOf(lineBase(line)), now);
+    // Demand-path repairs (metaGuardLine) can trip or re-arm a breaker
+    // between ticks.
+    invalidateEventHorizon();
     Cycles lat = deviceDir_.accessLatency(line, now);
     DirEntry *entry = deviceDir_.lookup(line);
     panic_if(!entry, "quarantined directory line has no entry");
@@ -2027,6 +2071,7 @@ MultiHostSystem::resolveRemapCorruption(HostId h, PageFrame page,
         return 0;
     faults_->metaScrubChecks.inc();
     faults_->noteMetaRepair(page, now);
+    invalidateEventHorizon();   // same breaker re-arm as the dir guard
     Cycles lat = cfg_.pipm.globalCacheRoundTrip;
 
     if (!c->shadowHit) {
@@ -2192,6 +2237,7 @@ MultiHostSystem::rejoinHost(HostId h, Cycles now)
     // Caches, TLBs and the local remap cache were already emptied at crash
     // time; the host comes back cold under its fresh (even) epoch, so any
     // stale in-flight reference stamped under the old epoch is rejected.
+    invalidateEventHorizon();   // fresh lease and heartbeat grid
     checkInvariants();
 }
 
@@ -2207,9 +2253,13 @@ MultiHostSystem::flushSharedPage(std::uint64_t idx, Cycles now)
             if (ev && ev->dirty)
                 mem_.write(line, ev->data);
         }
-        if (const DirEntry *e = deviceDir_.probe(line))
+        // Deallocating an untracked line is a no-op, so gating it on the
+        // probe saves the second directory scan for the common case of a
+        // page line nobody had cached.
+        if (const DirEntry *e = deviceDir_.probe(line)) {
             noteDeadOwnedDrop(line, *e);
-        deviceDir_.deallocate(line);
+            deviceDir_.deallocate(line);
+        }
     }
     (void)now;
 }

@@ -98,9 +98,30 @@ class MultiHostSystem
     AccessResult access(HostId h, CoreId c, const MemRef &ref, Cycles now,
                         std::uint64_t write_data = 0);
 
-    /** Advance epoch machinery (OS migration schemes) and process any
-     *  host crash/rejoin events that have fallen due. */
-    void tick(Cycles now);
+    /**
+     * Advance epoch machinery (OS migration schemes) and process any
+     * crash/rejoin, corruption, scrub, breaker and lease events that
+     * have fallen due.
+     *
+     * Event horizon (DESIGN.md §9): `nextEventCycle_` caches the
+     * earliest cycle at which the slow path could take any action —
+     * min over the injector's next crash/rejoin and corruption events,
+     * the next scrub pass, the next breaker transition, every
+     * heartbeat grid point, lease deadline and zombie readmission, and
+     * the next OS epoch. Ticks before that are provably no-ops and
+     * cost one compare. Mutators that re-arm any of those schedules
+     * outside the slow path call invalidateEventHorizon().
+     */
+    void
+    tick(Cycles now)
+    {
+        if (now < nextEventCycle_)
+            return;
+        tickSlow(now);
+    }
+
+    /** The cached event horizon (maxCycles: nothing pending). */
+    Cycles nextEventCycle() const { return nextEventCycle_; }
 
     // ---- Host fail-stop crashes (DESIGN.md §8) -------------------------
 
@@ -349,6 +370,23 @@ class MultiHostSystem
         }
     }
 
+    // ---- Event horizon (DESIGN.md §9) ------------------------------------
+
+    /** tick()'s slow path: run every subsystem whose events fell due,
+     *  then recompute the horizon. */
+    void tickSlow(Cycles now);
+
+    /** Recompute nextEventCycle_ from every armed schedule. */
+    void recomputeEventHorizon();
+
+    /**
+     * Force the next tick() onto the slow path. Called wherever timed
+     * state is re-armed outside tickSlow(): crashHost/rejoinHost/
+     * suspectHost (reachable from access() via the retry engine) and
+     * the demand-path corruption repairs that feed the breakers.
+     */
+    void invalidateEventHorizon() { nextEventCycle_ = 0; }
+
     // ---- Crash recovery --------------------------------------------------
 
     /** Drain crash/rejoin events from the injector's schedule. */
@@ -490,6 +528,14 @@ class MultiHostSystem
     bool metaFaults_ = false;       ///< fault.metaCorruptMeanIntervalNs > 0
     Cycles metaScrubInterval_ = 0;
     Cycles nextMetaScrub_ = 0;
+
+    // ---- Event horizon (DESIGN.md §9) ------------------------------------
+    /** Earliest cycle at which tickSlow() could act (0 forces a slow
+     *  tick; maxCycles: no subsystem has anything pending). */
+    Cycles nextEventCycle_ = 0;
+    /** Private references bypass the shared/TLB plumbing entirely
+     *  (true when no TLB is modelled). */
+    bool fastPrivate_ = false;
 
     bool naiveCoherence_ = false;   ///< §4.3.1 strawman coherence
     LatencyEstimates est_;

@@ -73,6 +73,7 @@ SyntheticTrace::SyntheticTrace(const PatternParams &params,
     windowStart_ = 0;
     scanPage_ = (scanPages_ * core) / std::max(1u, cores_per_host);
     scanLine_ = 0;
+    phaseLeft_ = params_.phaseRefs;
     newRun();
 }
 
@@ -144,8 +145,12 @@ SyntheticTrace::next()
 
     ref.shared = true;
     ++sharedRefs_;
-    if (params_.phaseRefs && sharedRefs_ % params_.phaseRefs == 0)
+    // Countdown instead of `sharedRefs_ % phaseRefs == 0`: same firing
+    // pattern without a per-reference integer division.
+    if (params_.phaseRefs && --phaseLeft_ == 0) {
         ++phase_;
+        phaseLeft_ = params_.phaseRefs;
+    }
     if (rng_.chance(params_.scanFrac)) {
         // Cyclic pass over the host's current scan window; the window
         // slides after each pass (frontier drift).

@@ -169,6 +169,7 @@ class SyntheticTrace : public CoreTrace
     // Hot-set drift state.
     std::uint64_t sharedRefs_ = 0;
     std::uint64_t phase_ = 0;
+    std::uint64_t phaseLeft_ = 0;   ///< shared refs until the next phase
 };
 
 } // namespace pipm

@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <random>
+
 #include "cache/hierarchy.hh"
 #include "common/logging.hh"
 
@@ -158,6 +161,78 @@ TEST_F(MultiCoreHierarchyTest, SharedLlcServesBothCores)
     hier_.fill(0, 5, HostState::S, false, 9);
     const auto r = hier_.lookup(1, 5);
     EXPECT_EQ(r.level, HitLevel::llc);
+}
+
+TEST_F(MultiCoreHierarchyTest, FusedAccessMatchesHistoricalSequence)
+{
+    // Two identical hierarchies: one driven through the historical
+    // lookup/dataOf/fill/recordWrite sequence, one through the fused
+    // cachedAccess/fillAccess pair. Hit levels, read data, the eviction
+    // stream and every counter must agree step for step — the fused
+    // primitives are pure scan fusion, not a semantic change.
+    CacheHierarchy hist(cfg_, 1);
+    CacheHierarchy fused(cfg_, 1);
+    std::mt19937_64 rng(0xf00df00du);
+
+    for (int step = 0; step < 60'000; ++step) {
+        const auto core = static_cast<CoreId>(rng() % 2);
+        // Small line space so hits, L1 back-invalidations and LLC
+        // capacity evictions all occur frequently.
+        const LineAddr line = rng() % 4096;
+        const bool is_write = rng() % 4 == 0;
+        const std::uint64_t wdata = rng();
+        const std::uint64_t fill_data = rng();
+
+        // Historical sequence (the pre-fusion localAccess shape).
+        std::optional<CacheHierarchy::Eviction> hist_ev;
+        HitLevel hist_level;
+        std::uint64_t hist_read = 0;
+        {
+            const auto r = hist.lookup(core, line);
+            hist_level = r.level;
+            if (r.level == HitLevel::llc) {
+                hist_ev = hist.fill(core, line, r.state, false,
+                                    hist.dataOf(line));
+            } else if (r.level == HitLevel::miss) {
+                hist_ev = hist.fill(core, line, HostState::M, false,
+                                    fill_data);
+            }
+            if (is_write)
+                hist.recordWrite(core, line, wdata);
+            else
+                hist_read = r.level == HitLevel::miss ? fill_data
+                                                      : hist.dataOf(line);
+        }
+
+        // Fused sequence.
+        std::optional<CacheHierarchy::Eviction> fused_ev;
+        const auto a = fused.cachedAccess(core, line, is_write, wdata);
+        std::uint64_t fused_read = a.data;
+        if (a.level == HitLevel::miss) {
+            fused_ev = fused.fillAccess(core, line, HostState::M, false,
+                                        fill_data, is_write, wdata);
+            fused_read = fill_data;
+        } else if (is_write) {
+            ASSERT_TRUE(a.completed) << "M/ME fills must complete writes";
+        }
+
+        ASSERT_EQ(a.level, hist_level) << "step " << step;
+        if (!is_write)
+            ASSERT_EQ(fused_read, hist_read) << "step " << step;
+        ASSERT_EQ(fused_ev.has_value(), hist_ev.has_value())
+            << "step " << step;
+        if (fused_ev) {
+            ASSERT_EQ(fused_ev->line, hist_ev->line) << "step " << step;
+            ASSERT_EQ(fused_ev->state, hist_ev->state);
+            ASSERT_EQ(fused_ev->dirty, hist_ev->dirty);
+            ASSERT_EQ(fused_ev->data, hist_ev->data);
+        }
+    }
+
+    EXPECT_EQ(fused.l1Hits.value(), hist.l1Hits.value());
+    EXPECT_EQ(fused.llcHits.value(), hist.llcHits.value());
+    EXPECT_EQ(fused.misses.value(), hist.misses.value());
+    EXPECT_EQ(fused.llcEvictions.value(), hist.llcEvictions.value());
 }
 
 } // namespace
