@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "ablation_naive_coherence",
+        "Ablation (4.3.1): naive coherence vs the PIPM ME/I' design.");
     using namespace pipm;
     using namespace pipmbench;
 

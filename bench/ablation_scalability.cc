@@ -15,8 +15,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "ablation_scalability",
+        "Ablation (4.5): host-count scalability of the majority vote.");
     using namespace pipm;
     using namespace pipmbench;
 

@@ -13,8 +13,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "ablation_threshold",
+        "Ablation (5.1.4): migration-threshold sensitivity sweep.");
     using namespace pipm;
     using namespace pipmbench;
 

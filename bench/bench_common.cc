@@ -5,7 +5,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <thread>
@@ -170,6 +172,36 @@ optionsFromEnv()
     if (const char *p = std::getenv("PIPM_OBS_WATCH"))
         opts.obsWatch = p;
     return opts;
+}
+
+void
+handleHarnessArgs(int argc, char **argv, const char *name,
+                  const char *what)
+{
+    for (int i = 1; i < argc; ++i) {
+        const bool help = std::strcmp(argv[i], "--help") == 0 ||
+                          std::strcmp(argv[i], "-h") == 0;
+        std::ostream &os = help ? std::cout : std::cerr;
+        if (!help)
+            os << name << ": unknown argument '" << argv[i] << "'\n\n";
+        os << "usage: " << name << " [--help]\n\n"
+           << what << "\n\n"
+           << "All knobs are environment variables:\n"
+              "  PIPM_BENCH_REFS    measured references per core "
+              "(default 150000)\n"
+              "  PIPM_BENCH_WARMUP  warmup references per core "
+              "(default 40000)\n"
+              "  PIPM_BENCH_SEED    RNG seed (default 42)\n"
+              "  PIPM_BENCH_CACHE   cache file path "
+              "(default ./pipm_bench_cache.tsv)\n"
+              "  PIPM_BENCH_JOBS    sweep worker threads (default 1)\n"
+              "  PIPM_BENCH_FAULTS  enable the paper-default fault "
+              "schedule\n"
+              "  PIPM_STATS_JSON, PIPM_OBS_INTERVAL, PIPM_OBS_TRACE,\n"
+              "  PIPM_OBS_WATCH     observability exports "
+              "(DESIGN.md §10)\n";
+        std::exit(help ? 0 : 2);
+    }
 }
 
 RunConfig

@@ -75,6 +75,17 @@ struct Options
 /** Read the PIPM_BENCH_* environment variables. */
 Options optionsFromEnv();
 
+/**
+ * Shared argv handling for harnesses whose knobs are all environment
+ * variables: prints usage (with the PIPM_BENCH_* knob table and the
+ * harness's one-line description `what`) and exits 0 on --help/-h, and
+ * exits 2 on any other argument. Previously every harness silently
+ * ignored argv, so a typo like `fig10_end_to_end --refs=100` ran the
+ * full default sweep instead of failing fast. No-op when argc == 1.
+ */
+void handleHarnessArgs(int argc, char **argv, const char *name,
+                       const char *what);
+
 /** Build the RunConfig corresponding to the options. */
 pipm::RunConfig runConfigOf(const Options &opts);
 

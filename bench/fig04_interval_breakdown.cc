@@ -18,8 +18,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig04_interval_breakdown",
+        "Fig. 4: execution-time breakdown of Nomad/Memtis migration intervals.");
     using namespace pipm;
     using namespace pipmbench;
 

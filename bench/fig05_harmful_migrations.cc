@@ -15,8 +15,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig05_harmful_migrations",
+        "Fig. 5: percentage of harmful page migrations under Nomad and Memtis.");
     using namespace pipm;
     using namespace pipmbench;
 

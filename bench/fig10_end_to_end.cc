@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig10_end_to_end",
+        "Fig. 10: end-to-end performance of every scheme on every workload.");
     using namespace pipm;
     using namespace pipmbench;
 

@@ -15,8 +15,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig11_local_hit_rate",
+        "Fig. 11: local memory hit rates per scheme and workload.");
     using namespace pipm;
     using namespace pipmbench;
 

@@ -14,8 +14,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig12_interhost_stalls",
+        "Fig. 12: inter-host stalling cycles normalised to Native.");
     using namespace pipm;
     using namespace pipmbench;
 

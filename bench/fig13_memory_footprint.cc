@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig13_memory_footprint",
+        "Fig. 13: per-host local memory footprint ratios.");
     using namespace pipm;
     using namespace pipmbench;
 

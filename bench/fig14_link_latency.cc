@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig14_link_latency",
+        "Fig. 14: PIPM speedup under different CXL link latencies.");
     using namespace pipm;
     using namespace pipmbench;
 

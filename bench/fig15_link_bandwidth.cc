@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig15_link_bandwidth",
+        "Fig. 15: PIPM speedup under different CXL link bandwidths.");
     using namespace pipm;
     using namespace pipmbench;
 

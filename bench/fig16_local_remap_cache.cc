@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig16_local_remap_cache",
+        "Fig. 16: PIPM performance versus local remapping cache size.");
     using namespace pipm;
     using namespace pipmbench;
 

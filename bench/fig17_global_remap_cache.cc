@@ -16,8 +16,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "fig17_global_remap_cache",
+        "Fig. 17: PIPM performance versus global remapping cache size.");
     using namespace pipm;
     using namespace pipmbench;
 

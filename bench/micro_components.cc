@@ -141,4 +141,18 @@ BENCHMARK(BM_ProtocolCheck2Hosts);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): identical flag handling, except that
+// arguments google-benchmark does not recognise exit 2 instead of being
+// silently ignored (the benchmark library only warns by default when
+// run under some versions; ReportUnrecognizedArguments makes it
+// uniform and fatal here, matching the other harnesses).
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 2;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

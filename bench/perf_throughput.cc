@@ -116,8 +116,10 @@ compareBaseline(const std::string &path, const std::string &workload,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "perf_throughput",
+        "Perf harness (DESIGN.md 9): simulator throughput per scheme.");
     using namespace pipm;
     using namespace pipmbench;
     using clock = std::chrono::steady_clock;

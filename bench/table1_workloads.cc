@@ -12,8 +12,10 @@
 #include "workloads/catalog.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "table1_workloads",
+        "Table 1: evaluated workloads and synthetic-model parameters.");
     using namespace pipm;
 
     const SystemConfig cfg = defaultConfig();

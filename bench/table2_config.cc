@@ -8,9 +8,13 @@
 
 #include "common/config.hh"
 
+#include "bench_common.hh"
+
 int
-main()
+main(int argc, char **argv)
 {
+    pipmbench::handleHarnessArgs(argc, argv, "table2_config",
+        "Table 2: the scaled-down system configuration.");
     using namespace pipm;
     const SystemConfig cfg = defaultConfig();
     std::cout << "== Table 2: scaled-down system configuration ==\n"

@@ -141,6 +141,25 @@ FaultConfig::validate() const
              "fault.backoffMaxExp above 20 overflows any realistic run");
 }
 
+unsigned
+FaultConfig::activeDomains() const
+{
+    if (!enabled)
+        return 0;
+    unsigned n = 0;
+    // §7: anything that perturbs the link/media fault stream.
+    if (linkErrorRate > 0.0 || retrainIntervalNs > 0.0 ||
+        poisonRate > 0.0 || migrationAbortRate > 0.0)
+        ++n;
+    if (crashMeanIntervalNs > 0.0)                        // §8
+        ++n;
+    if (leaseNs > 0.0 || stallMeanIntervalNs > 0.0)       // §11
+        ++n;
+    if (metaCorruptMeanIntervalNs > 0.0)                  // §12
+        ++n;
+    return n;
+}
+
 void
 SystemConfig::validate() const
 {

@@ -308,6 +308,15 @@ struct FaultConfig
 
     /** Validate ranges; fatal()s on user error. */
     void validate() const;
+
+    /**
+     * Number of active failure domains: CXL link/media faults (§7),
+     * host fail-stop crashes (§8), lease-based detection with gray
+     * failures (§11), and device-metadata corruption (§12). A disabled
+     * config has zero; the fuzzer's minimizer shrinks failing samples
+     * toward zero (DESIGN.md §13).
+     */
+    unsigned activeDomains() const;
 };
 
 /** OS page-migration mechanism parameters (§5.1.4). */

@@ -1,0 +1,290 @@
+/**
+ * @file
+ * Differential execution and cross-checking oracles (DESIGN.md §13).
+ *
+ * Each oracle runs one sampled case under two independent
+ * implementations of the same contract (or one implementation plus a
+ * validator) and reports the first divergence. Every run happens under
+ * the detail::throwOnError hook, so a panic()/fatal() inside the
+ * simulator surfaces as an oracle failure carrying the message instead
+ * of aborting the fuzz loop.
+ */
+
+#include "fuzz/fuzz.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include <unistd.h>
+
+#include "common/logging.hh"
+#include "obs/stats_json.hh"
+#include "workloads/catalog.hh"
+
+namespace pipm
+{
+namespace fuzz
+{
+
+namespace
+{
+
+/** Scoped detail::throwOnError so fatal()/panic() raise SimError. */
+struct ThrowGuard
+{
+    bool saved = detail::throwOnError;
+    ThrowGuard() { detail::throwOnError = true; }
+    ~ThrowGuard() { detail::throwOnError = saved; }
+};
+
+/** First line present in `a` but differing from `b` (both are
+ *  fingerprintResult outputs with identical line structure). */
+std::string
+firstDiff(const std::string &a, const std::string &b)
+{
+    std::istringstream sa(a);
+    std::istringstream sb(b);
+    std::string la;
+    std::string lb;
+    while (std::getline(sa, la)) {
+        if (!std::getline(sb, lb))
+            return la + " vs <missing>";
+        if (la != lb)
+            return la + " vs " + lb;
+    }
+    if (std::getline(sb, lb))
+        return "<missing> vs " + lb;
+    return "<no difference>";
+}
+
+/** A process-unique temp path for one stats.json export. */
+std::string
+tempStatsPath()
+{
+    static unsigned counter = 0;
+    std::ostringstream name;
+    name << "pipm_fuzz_stats_" << ::getpid() << "_" << ++counter << ".json";
+    return (std::filesystem::temp_directory_path() / name.str()).string();
+}
+
+/** Slurp a file ("" when unreadable). */
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+OracleResult
+checkSched(const FuzzCase &c)
+{
+    ThrowGuard guard;
+    try {
+        RunConfig heap = runConfigFor(c);
+        heap.scheduler = "heap";
+        RunConfig scan = runConfigFor(c);
+        scan.scheduler = "scan";
+        const RunResult rh = runCase(c, heap);
+        RunResult rs = runCase(c, scan);
+        // Test hook: a planted scheduler divergence (see FuzzHooks).
+        rs.execCycles += hooks().schedExecSkew;
+        const std::string fh = fingerprintResult(rh);
+        const std::string fs = fingerprintResult(rs);
+        if (fh != fs)
+            return {false, "heap vs scan scheduler diverge: " +
+                               firstDiff(fh, fs)};
+    } catch (const SimError &e) {
+        return {false, "panic/fatal during run: " + e.message};
+    }
+    return {};
+}
+
+OracleResult
+checkFaultZero(const FuzzCase &c)
+{
+    ThrowGuard guard;
+    try {
+        // Faults off entirely...
+        FuzzCase off = c;
+        off.cfg.fault = FaultConfig{};
+        // ...versus enabled with every rate at its zero default. The
+        // sampled fault seed is kept: a zero-rate schedule must make no
+        // draws, so the seed must not matter.
+        FuzzCase zero = c;
+        zero.cfg.fault = FaultConfig{};
+        zero.cfg.fault.enabled = true;
+        zero.cfg.fault.seed = c.cfg.fault.seed;
+        const RunResult roff = runCase(off, runConfigFor(off));
+        const RunResult rzero = runCase(zero, runConfigFor(zero));
+        const std::string foff = fingerprintResult(roff);
+        const std::string fzero = fingerprintResult(rzero);
+        if (foff != fzero)
+            return {false,
+                    "faults-off vs zero-rate faults diverge: " +
+                        firstDiff(foff, fzero)};
+    } catch (const SimError &e) {
+        return {false, "panic/fatal during run: " + e.message};
+    }
+    return {};
+}
+
+OracleResult
+checkInvariantsSweep(const FuzzCase &c)
+{
+    ThrowGuard guard;
+    try {
+        RunConfig run = runConfigFor(c);
+        // The sweep is O(pool lines x hosts), so its cadence must scale
+        // with the run: ~8 sweeps across the measured accesses (plus the
+        // sweeps every crash/rejoin event forces regardless). The
+        // PIPM_CHECK_INVARIANTS environment variable, when set,
+        // overrides this cadence.
+        run.checkInvariantsEvery = std::max<std::uint64_t>(
+            1, c.measureRefs * c.cfg.numHosts * c.cfg.coresPerHost / 8);
+        (void)runCase(c, run);
+    } catch (const SimError &e) {
+        return {false, "invariant violation: " + e.message};
+    }
+    return {};
+}
+
+OracleResult
+checkStatsJson(const FuzzCase &c)
+{
+    ThrowGuard guard;
+    const std::string path_a = tempStatsPath();
+    const std::string path_b = tempStatsPath();
+    OracleResult res;
+    try {
+        RunConfig run = runConfigFor(c);
+        run.obsIntervalAccesses =
+            std::max<std::uint64_t>(1, c.measureRefs / 4);
+        run.statsJsonPath = path_a;
+        (void)runCase(c, run);
+        run.statsJsonPath = path_b;
+        (void)runCase(c, run);
+        const std::string doc_a = slurp(path_a);
+        const std::string doc_b = slurp(path_b);
+        if (doc_a.empty()) {
+            res = {false, "stats.json export missing or empty"};
+        } else if (doc_a != doc_b) {
+            res = {false, "stats.json export is not byte-deterministic"};
+        } else {
+            const std::vector<std::string> bad = validateStatsJson(doc_a);
+            if (!bad.empty())
+                res = {false, "stats.json invalid: " + bad.front() + " (" +
+                                  std::to_string(bad.size()) +
+                                  " violations)"};
+        }
+    } catch (const SimError &e) {
+        res = {false, "panic/fatal during run: " + e.message};
+    }
+    std::remove(path_a.c_str());
+    std::remove(path_b.c_str());
+    return res;
+}
+
+} // namespace
+
+RunConfig
+runConfigFor(const FuzzCase &c)
+{
+    RunConfig run;
+    run.warmupRefsPerCore = c.warmupRefs;
+    run.measureRefsPerCore = c.measureRefs;
+    run.seed = c.runSeed;
+    run.scheduler = "heap";
+    // Fuzz runs must not inherit PIPM_STATS_JSON / PIPM_OBS_* from the
+    // environment: oracles own the observability knobs.
+    run.obsFromEnv = false;
+    return run;
+}
+
+RunResult
+runCase(const FuzzCase &c, const RunConfig &run)
+{
+    const auto wl = workloadByName(c.workload, c.cfg.footprintScale);
+    return runExperiment(c.cfg, c.scheme, *wl, run);
+}
+
+std::string
+fingerprintResult(const RunResult &r)
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "execCycles=" << r.execCycles << '\n'
+       << "instructions=" << r.instructions << '\n'
+       << "ipc=" << r.ipc << '\n'
+       << "sharedAccesses=" << r.sharedAccesses << '\n'
+       << "sharedLlcMisses=" << r.sharedLlcMisses << '\n'
+       << "localServedMisses=" << r.localServedMisses << '\n'
+       << "cxlServedMisses=" << r.cxlServedMisses << '\n'
+       << "interHostAccesses=" << r.interHostAccesses << '\n'
+       << "interHostStallCycles=" << r.interHostStallCycles << '\n'
+       << "mgmtStallCycles=" << r.mgmtStallCycles << '\n'
+       << "migrationTransferBytes=" << r.migrationTransferBytes << '\n'
+       << "osMigrations=" << r.osMigrations << '\n'
+       << "osDemotions=" << r.osDemotions << '\n'
+       << "pipmPromotions=" << r.pipmPromotions << '\n'
+       << "pipmRevocations=" << r.pipmRevocations << '\n'
+       << "pipmLinesIn=" << r.pipmLinesIn << '\n'
+       << "pipmLinesBack=" << r.pipmLinesBack << '\n'
+       << "harmfulMigrations=" << r.harmfulMigrations << '\n'
+       << "totalTrackedMigrations=" << r.totalTrackedMigrations << '\n'
+       << "linkCrcErrors=" << r.linkCrcErrors << '\n'
+       << "linkRetrainEvents=" << r.linkRetrainEvents << '\n'
+       << "poisonEvents=" << r.poisonEvents << '\n'
+       << "degradedAccesses=" << r.degradedAccesses << '\n'
+       << "migrationAborts=" << r.migrationAborts << '\n'
+       << "migrationsDeferred=" << r.migrationsDeferred << '\n'
+       << "hostCrashes=" << r.hostCrashes << '\n'
+       << "hostRejoins=" << r.hostRejoins << '\n'
+       << "crashLinesReclaimed=" << r.crashLinesReclaimed << '\n'
+       << "crashDirtyLinesLost=" << r.crashDirtyLinesLost << '\n'
+       << "crashRecoveryCycles=" << r.crashRecoveryCycles << '\n'
+       << "suspicions=" << r.suspicions << '\n'
+       << "falseSuspicions=" << r.falseSuspicions << '\n'
+       << "fencedRequests=" << r.fencedRequests << '\n'
+       << "txnTimeouts=" << r.txnTimeouts << '\n'
+       << "txnRetries=" << r.txnRetries << '\n'
+       << "stallWindows=" << r.stallWindows << '\n'
+       << "pageFootprintFrac=" << r.pageFootprintFrac << '\n'
+       << "lineFootprintFrac=" << r.lineFootprintFrac << '\n';
+    return os.str();
+}
+
+FuzzHooks &
+hooks()
+{
+    static FuzzHooks instance;
+    return instance;
+}
+
+std::vector<Oracle>
+coreOracles()
+{
+    return {
+        {"sched", checkSched},
+        {"faultzero", checkFaultZero},
+        {"invariants", checkInvariantsSweep},
+        {"statsjson", checkStatsJson},
+    };
+}
+
+Oracle
+coreOracle(const std::string &name)
+{
+    for (Oracle &o : coreOracles())
+        if (o.name == name)
+            return o;
+    fatal("unknown fuzz oracle '", name,
+          "' (expected sched, faultzero, invariants or statsjson)");
+}
+
+} // namespace fuzz
+} // namespace pipm

@@ -3,8 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <cassert>
-#include <unordered_map>
-#include <unordered_set>
 
 #include "common/logging.hh"
 #include "migration/hemem.hh"
@@ -1641,10 +1639,14 @@ MultiHostSystem::flushHostVolatile(HostId h)
 {
     // Dirty cached lines are remembered (keyed by home line address) only
     // to decide lost-ness in the reclaim sweep; the data itself is gone.
+    // Overwrite semantics: if a line is somehow captured twice (dirty at
+    // two cache levels, or re-captured before the deferred §11 sweep
+    // runs), the later capture is the newer value — emplace would
+    // silently keep the stale one and mis-account the loss.
     auto &dirty = pendingDirty_[h];
     for (const auto &ev : hosts_[h].caches->flushAll()) {
         if (ev.dirty)
-            dirty.emplace(ev.line, ev.data);
+            dirty.insert_or_assign(ev.line, ev.data);
     }
     for (Tlb &t : hosts_[h].tlbs)
         t.flushAll();
@@ -1671,14 +1673,14 @@ MultiHostSystem::reclaimHost(HostId h, Cycles now)
     // Each line is recorded at most once per reclaim; under the poison
     // recovery policy lost lines additionally become persistently poisoned
     // (uncacheable degraded path) instead of silently serving stale data.
-    std::unordered_set<LineAddr> lost_this_crash;
+    FlatSet<LineAddr> lost_this_crash;
     auto record_lost = [&](LineAddr line) {
-        if (!lost_this_crash.insert(line).second)
+        if (!lost_this_crash.insert(line))
             return;
         noteLostLine(line);
     };
 
-    std::unordered_map<LineAddr, std::uint64_t> &latest = pendingDirty_[h];
+    FlatMap<LineAddr, std::uint64_t> &latest = pendingDirty_[h];
 
     // ---- 2. Directory sweep --------------------------------------------
     // Reclaim every entry whose sharer mask includes the dead host: S

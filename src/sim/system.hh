@@ -24,12 +24,12 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "cache/hierarchy.hh"
 #include "coherence/device_directory.hh"
 #include "common/config.hh"
+#include "common/flat_map.hh"
 #include "common/stats.hh"
 #include "cxl/link.hh"
 #include "fault/fault_injector.hh"
@@ -521,8 +521,11 @@ class MultiHostSystem
     std::vector<Cycles> nextHeartbeat_;   ///< next renewal grid point
     /** Fenced zombie readmission time (0: not a fenced zombie). */
     std::vector<Cycles> zombieReadmitAt_;
-    /** Dirty values captured at death, awaiting the reclaim sweep. */
-    std::vector<std::unordered_map<LineAddr, std::uint64_t>> pendingDirty_;
+    /** Dirty values captured at death, awaiting the reclaim sweep. The
+     *  reclaim path only ever looks entries up by key or sorts the keys
+     *  before sweeping, so the FlatMap's unspecified iteration order is
+     *  never observable (DESIGN.md §9 determinism caveat). */
+    std::vector<FlatMap<LineAddr, std::uint64_t>> pendingDirty_;
 
     // ---- Device-metadata fault domain (DESIGN.md §12) --------------------
     bool metaFaults_ = false;       ///< fault.metaCorruptMeanIntervalNs > 0

@@ -279,6 +279,73 @@ TEST(CrashSweep, DirtyOwnerLinesAreLostAndServedStale)
     EXPECT_EQ(r.data, stale);
 }
 
+TEST(CrashSweep, L1AndLlcDirtyLineCountedOnceWithLatestValue)
+{
+    // Regression for the flushHostVolatile capture semantics: a line that
+    // is dirty in an L1 *and* the LLC at crash time must be captured
+    // exactly once, and the *latest* written value decides lost-ness.
+    // The first write here stores the device's current value back (a
+    // no-op if it were the one compared), the second stores a different
+    // value — keeping the stale first capture (emplace semantics) would
+    // compare equal to the device copy and silently miss the loss.
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.coresPerHost = 2;
+    cfg.fault = quietFaults();
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem system(cfg, Scheme::native, wl, 1);
+
+    Cycles now = 0;
+    const LineAddr line = homeLine(system, 3, 1);
+    const std::uint64_t stale = system.memory().read(line);
+    system.access(1, 0, sharedRef(3, 1, MemOp::write), now, stale);
+    now += 1'000;
+    system.access(1, 1, sharedRef(3, 1, MemOp::write), now, stale + 1);
+    EXPECT_EQ(system.hierarchy(1).dataOf(line), stale + 1);
+    EXPECT_EQ(system.memory().read(line), stale);   // still cached dirty
+
+    now += 1'000;
+    system.crashHost(1, now);
+
+    // One loss, counted once, against the latest value.
+    ASSERT_EQ(system.lostLines().size(), 1u);
+    EXPECT_EQ(system.lostLines()[0], line);
+    EXPECT_EQ(system.faultInjector()->crashDirtyLinesLost.value(), 1u);
+
+    // Survivors read the stale device copy (default recovery policy).
+    now += 1'000;
+    const AccessResult r =
+        system.access(0, 0, sharedRef(3, 1, MemOp::read), now);
+    EXPECT_EQ(r.data, stale);
+}
+
+TEST(CrashSweep, DirtyLineMatchingDeviceCopyIsNotLost)
+{
+    // The converse direction: a dirty cached line whose latest value
+    // equals the device copy loses nothing at crash time — loss is a
+    // value comparison, not a dirty-bit count.
+    ThrowOnErrorGuard guard;
+    SystemConfig cfg = testConfig();
+    cfg.fault = quietFaults();
+    TinyWorkload wl(64 * pageBytes, 8 * pageBytes);
+    MultiHostSystem system(cfg, Scheme::native, wl, 1);
+
+    Cycles now = 0;
+    const LineAddr line = homeLine(system, 3, 2);
+    const std::uint64_t same = system.memory().read(line);
+    system.access(1, 0, sharedRef(3, 2, MemOp::write), now, same);
+
+    now += 1'000;
+    system.crashHost(1, now);
+    EXPECT_TRUE(system.lostLines().empty());
+    EXPECT_EQ(system.faultInjector()->crashDirtyLinesLost.value(), 0u);
+
+    now += 1'000;
+    const AccessResult r =
+        system.access(0, 0, sharedRef(3, 2, MemOp::read), now);
+    EXPECT_EQ(r.data, same);
+}
+
 TEST(CrashSweep, PoisonPolicyPoisonsLostLines)
 {
     ThrowOnErrorGuard guard;
