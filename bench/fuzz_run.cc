@@ -73,7 +73,9 @@ usage(std::ostream &os)
           "                   reproducers to FILE (for CI artifacts)\n"
           "\n"
           "Environment (flags override): PIPM_FUZZ_SEEDS,\n"
-          "PIPM_FUZZ_REFS, PIPM_FUZZ_TIME_BUDGET\n";
+          "PIPM_FUZZ_REFS, PIPM_FUZZ_TIME_BUDGET.\n"
+          "PIPM_FUZZ_TRACE_DIR=DIR mixes the .pipmt traces in DIR\n"
+          "into the sampled workload population (trace:<path>).\n";
 }
 
 /** Scoped detail::throwOnError so fatal()/panic() raise SimError. */
@@ -116,7 +118,7 @@ checkJobs(const FuzzCase &c)
     ThrowGuard guard;
     std::string contents[2];
     try {
-        const auto wl = workloadByName(c.workload, c.cfg.footprintScale);
+        const auto wl = caseWorkload(c);
         for (int i = 0; i < 2; ++i) {
             pipmbench::Options opts;
             opts.measureRefs = c.measureRefs;

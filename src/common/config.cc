@@ -178,6 +178,28 @@ SystemConfig::validate() const
              "scaled L1 size not divisible into sets");
     fatal_if((llcBytesPerCore() % (lineBytes * llcPerCore.ways)) != 0,
              "scaled LLC size not divisible into sets");
+    // SetAssoc requires power-of-two set counts; reject here with the
+    // geometry spelled out instead of letting its constructor panic
+    // deep inside system construction.
+    const auto pow2 = [](std::uint64_t v) {
+        return v != 0 && (v & (v - 1)) == 0;
+    };
+    fatal_if(!pow2(l1Bytes() / (lineBytes * l1.ways)),
+             "scaled L1 set count must be a power of two, got ",
+             l1Bytes() / (lineBytes * l1.ways), " (", l1Bytes(),
+             " B / ", l1.ways, " ways)");
+    fatal_if(!pow2(llcBytesPerCore() * coresPerHost /
+                   (lineBytes * llcPerCore.ways)),
+             "scaled LLC set count must be a power of two, got ",
+             llcBytesPerCore() * coresPerHost /
+                 (lineBytes * llcPerCore.ways),
+             " (", llcBytesPerCore(), " B per core x ", coresPerHost,
+             " cores / ", llcPerCore.ways, " ways)");
+    fatal_if(!pow2(static_cast<std::uint64_t>(deviceDirectory.sets) *
+                   deviceDirectory.slices),
+             "device directory sets x slices must be a power of two, "
+             "got ", deviceDirectory.sets, " x ",
+             deviceDirectory.slices);
     fatal_if(core.width == 0, "core retire width must be positive");
     fatal_if(core.robEntries == 0, "ROB size must be positive");
     fatal_if(core.mshrs == 0, "core MSHR count must be positive");

@@ -9,6 +9,7 @@
 #ifndef PIPM_COMMON_HASH_HH
 #define PIPM_COMMON_HASH_HH
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -28,12 +29,11 @@ fnv1a(std::string_view s)
     return h;
 }
 
-/** FNV-1a hex-encoded as 16 lowercase hex characters. */
+/** Render a 64-bit hash as 16 lowercase hex characters. */
 inline std::string
-fnv1aHex(std::string_view s)
+hashHex(std::uint64_t h)
 {
     static const char digits[] = "0123456789abcdef";
-    std::uint64_t h = fnv1a(s);
     std::string out(16, '0');
     for (int i = 15; i >= 0; --i) {
         out[i] = digits[h & 0xf];
@@ -41,6 +41,43 @@ fnv1aHex(std::string_view s)
     }
     return out;
 }
+
+/** FNV-1a hex-encoded as 16 lowercase hex characters. */
+inline std::string
+fnv1aHex(std::string_view s)
+{
+    return hashHex(fnv1a(s));
+}
+
+/**
+ * Incremental 64-bit FNV-1a over a byte stream. Feeding the same bytes
+ * in any chunking yields the same digest as one fnv1a() call over the
+ * concatenation; the trace subsystem uses it to checksum payloads that
+ * are produced stream by stream (DESIGN.md §14).
+ */
+class Fnv1a
+{
+  public:
+    /** Absorb one byte. */
+    void put(std::uint8_t byte)
+    {
+        h_ ^= byte;
+        h_ *= 1099511628211ull;
+    }
+
+    /** Absorb a byte range. */
+    void put(const std::uint8_t *data, std::size_t len)
+    {
+        for (std::size_t i = 0; i < len; ++i)
+            put(data[i]);
+    }
+
+    /** Current digest (absorbing may continue afterwards). */
+    std::uint64_t digest() const { return h_; }
+
+  private:
+    std::uint64_t h_ = 1469598103934665603ull;
+};
 
 } // namespace pipm
 

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * LEB128 varint and zigzag codecs shared by the trace subsystem
+ * (DESIGN.md §14).
+ *
+ * Unsigned values are encoded little-endian base-128 (7 payload bits
+ * per byte, high bit = continuation), so small magnitudes — the common
+ * case for delta-encoded page indices and compute gaps — take one
+ * byte. Signed deltas go through the zigzag mapping first (0, -1, 1,
+ * -2, ... -> 0, 1, 2, 3, ...), which keeps small negative deltas small
+ * instead of sign-extending them to ten bytes.
+ *
+ * Decoding is bounds-checked and returns the number of bytes consumed
+ * (0 on truncation or a >10-byte overlong encoding), never reading past
+ * `end`; trace files are untrusted inputs.
+ */
+
+#ifndef PIPM_COMMON_VARINT_HH
+#define PIPM_COMMON_VARINT_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pipm
+{
+
+/** Longest legal LEB128 encoding of a 64-bit value, in bytes. */
+static constexpr std::size_t maxVarintBytes = 10;
+
+/** Append the LEB128 encoding of v to out. */
+inline void
+putVarint(std::vector<std::uint8_t> &out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<std::uint8_t>(v) | 0x80);
+        v >>= 7;
+    }
+    out.push_back(static_cast<std::uint8_t>(v));
+}
+
+/**
+ * Decode one LEB128 value from [p, end).
+ * @return bytes consumed, or 0 when the input is truncated or overlong
+ */
+inline std::size_t
+getVarint(const std::uint8_t *p, const std::uint8_t *end,
+          std::uint64_t &out)
+{
+    std::uint64_t v = 0;
+    unsigned shift = 0;
+    for (std::size_t i = 0; i < maxVarintBytes && p + i < end; ++i) {
+        const std::uint8_t byte = p[i];
+        // The tenth byte may only carry the top bit of a 64-bit value.
+        if (i == maxVarintBytes - 1 && (byte & ~std::uint8_t{1}) != 0)
+            return 0;
+        v |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+        if (!(byte & 0x80)) {
+            out = v;
+            return i + 1;
+        }
+        shift += 7;
+    }
+    return 0;
+}
+
+/** Map a signed delta onto the zigzag unsigned encoding. */
+inline std::uint64_t
+zigzagEncode(std::int64_t v)
+{
+    return (static_cast<std::uint64_t>(v) << 1) ^
+           static_cast<std::uint64_t>(v >> 63);
+}
+
+/** Invert zigzagEncode. */
+inline std::int64_t
+zigzagDecode(std::uint64_t v)
+{
+    return static_cast<std::int64_t>(v >> 1) ^
+           -static_cast<std::int64_t>(v & 1);
+}
+
+} // namespace pipm
+
+#endif // PIPM_COMMON_VARINT_HH

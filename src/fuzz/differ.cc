@@ -208,7 +208,7 @@ runConfigFor(const FuzzCase &c)
 RunResult
 runCase(const FuzzCase &c, const RunConfig &run)
 {
-    const auto wl = workloadByName(c.workload, c.cfg.footprintScale);
+    const auto wl = caseWorkload(c);
     return runExperiment(c.cfg, c.scheme, *wl, run);
 }
 

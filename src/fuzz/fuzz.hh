@@ -27,12 +27,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.hh"
 #include "sim/runner.hh"
 #include "sim/scheme.hh"
+#include "workloads/workload.hh"
 
 namespace pipm
 {
@@ -44,10 +46,15 @@ struct FuzzCase
 {
     SystemConfig cfg;
     Scheme scheme = Scheme::pipmFull;
-    std::string workload = "ycsb";      ///< Table 1 name
+    /** Table 1 name, or "trace:<path>" for a PIPMT trace replay. */
+    std::string workload = "ycsb";
     std::uint64_t runSeed = 42;
     std::uint64_t warmupRefs = 500;     ///< per core
     std::uint64_t measureRefs = 2'000;  ///< per core
+    /** Multi-line access-model overrides on the synthetic pattern
+     *  (0 = keep the workload's Table 1 value; ignored for traces). */
+    unsigned hotLinesPerPage = 0;
+    unsigned seqRunLines = 0;
 };
 
 /** Sampling bounds (kept laptop-small; a fuzz case is run 2+ times). */
@@ -87,6 +94,22 @@ std::string caseKey(const FuzzCase &c);
 /** `field=value` lines over every RunResult measurement; differential
  *  oracles compare these and report the first differing field. */
 std::string fingerprintResult(const RunResult &r);
+
+/**
+ * Build the case's workload: a Table 1 synthetic with any multi-line
+ * overrides applied, or a TraceFileWorkload for "trace:<path>" names.
+ * fatal() (SimError under the test hook) on unknown names or unreadable
+ * trace files.
+ */
+std::unique_ptr<Workload> caseWorkload(const FuzzCase &c);
+
+/**
+ * Trace files sampleCase() draws trace-backed workloads from: the
+ * `.pipmt` entries of the PIPM_FUZZ_TRACE_DIR directory, sorted by
+ * name for determinism. Empty when the knob is unset or the directory
+ * has no traces. Scanned once per process.
+ */
+const std::vector<std::string> &fuzzTraceFiles();
 
 /** Run one case (scheduler/invariant/obs knobs via `run` overrides). */
 RunResult runCase(const FuzzCase &c, const RunConfig &run);

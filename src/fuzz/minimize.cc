@@ -219,6 +219,8 @@ forEachField(const FuzzCase &c, F &&f)
     f("runSeed", c.runSeed, d.runSeed);
     f("warmupRefs", c.warmupRefs, d.warmupRefs);
     f("measureRefs", c.measureRefs, d.measureRefs);
+    f("hotLinesPerPage", c.hotLinesPerPage, d.hotLinesPerPage);
+    f("seqRunLines", c.seqRunLines, d.seqRunLines);
 }
 
 /** Exact serialization of every field (the minimizer's equality key;
@@ -320,6 +322,12 @@ transforms()
         {"baseline-workload", static_cast<T>([](const FuzzCase &c) {
              FuzzCase n = c;
              n.workload = "ycsb";
+             return n;
+         })},
+        {"baseline-lines", static_cast<T>([](const FuzzCase &c) {
+             FuzzCase n = c;
+             n.hotLinesPerPage = 0;
+             n.seqRunLines = 0;
              return n;
          })},
         {"baseline-core", static_cast<T>([](const FuzzCase &c) {

@@ -10,24 +10,32 @@
  * after repair, so off-by-one bugs at the edges of the accepted ranges
  * stay in the tested population.
  *
- * Geometry note: validate() only checks set divisibility, but SetAssoc
- * additionally panics unless the set count is a nonzero power of two
- * (the device directory needs sets x slices to be one). The sampler
- * draws power-of-two sizes/ways/scales so repaired cases construct, and
- * repairCase() rounds externally-supplied values down to powers of two
- * the same way.
+ * Geometry note: SystemConfig::validate() rejects non-power-of-two set
+ * counts outright (the same rule the SetAssoc constructors enforce), so
+ * the sampler draws power-of-two sizes/ways/scales and repairCase()
+ * rounds externally-supplied values down to powers of two to keep
+ * repaired cases valid.
+ *
+ * Workloads: besides the Table 1 synthetics (with sampled multi-line
+ * overrides — hotLinesPerPage / seqRunLines), the sampler emits
+ * trace-backed workloads ("trace:<path>", replayed via
+ * TraceFileWorkload) drawn from the .pipmt files of the directory named
+ * by PIPM_FUZZ_TRACE_DIR, when set.
  */
 
 #include "fuzz/fuzz.hh"
 
 #include <algorithm>
+#include <filesystem>
 #include <sstream>
 
+#include "common/env.hh"
 #include "common/logging.hh"
 #include "common/rng.hh"
 #include "common/types.hh"
 #include "workloads/catalog.hh"
 #include "workloads/synthetic.hh"
+#include "workloads/trace_file.hh"
 
 namespace pipm
 {
@@ -82,7 +90,65 @@ struct ThrowGuard
     ~ThrowGuard() { detail::throwOnError = saved; }
 };
 
+/** The path behind a "trace:<path>" workload name ("" otherwise). */
+std::string
+tracePathOf(const std::string &workload)
+{
+    constexpr const char prefix[] = "trace:";
+    if (workload.rfind(prefix, 0) != 0)
+        return "";
+    return workload.substr(sizeof prefix - 1);
+}
+
+void repairFaults(SystemConfig &cfg);
+
 } // namespace
+
+const std::vector<std::string> &
+fuzzTraceFiles()
+{
+    static const std::vector<std::string> files = [] {
+        std::vector<std::string> found;
+        const std::string dir = envStr("PIPM_FUZZ_TRACE_DIR", "");
+        if (dir.empty())
+            return found;
+        std::error_code ec;
+        for (const auto &entry :
+             std::filesystem::directory_iterator(dir, ec)) {
+            if (entry.is_regular_file() &&
+                entry.path().extension() == ".pipmt")
+                found.push_back(entry.path().string());
+        }
+        if (ec)
+            warn("PIPM_FUZZ_TRACE_DIR=", dir, ": ", ec.message());
+        // Directory iteration order is filesystem-dependent; sampling
+        // must not be.
+        std::sort(found.begin(), found.end());
+        return found;
+    }();
+    return files;
+}
+
+std::unique_ptr<Workload>
+caseWorkload(const FuzzCase &c)
+{
+    const std::string path = tracePathOf(c.workload);
+    if (!path.empty())
+        return std::make_unique<TraceFileWorkload>(path);
+    auto wl = workloadByName(c.workload, c.cfg.footprintScale);
+    if (c.hotLinesPerPage == 0 && c.seqRunLines == 0)
+        return wl;
+    // Multi-line model overrides: rebuild the synthetic with the
+    // pattern's line-granularity knobs replaced.
+    const auto *syn = dynamic_cast<const SyntheticWorkload *>(wl.get());
+    panic_if(!syn, "multi-line overrides on a non-synthetic workload");
+    PatternParams p = syn->params();
+    if (c.hotLinesPerPage != 0)
+        p.hotLinesPerPage = c.hotLinesPerPage;
+    if (c.seqRunLines != 0)
+        p.seqRunLines = c.seqRunLines;
+    return std::make_unique<SyntheticWorkload>(p, c.cfg.footprintScale);
+}
 
 FuzzCase
 defaultCase()
@@ -271,6 +337,22 @@ sampleCase(std::uint64_t seed, const FuzzLimits &lim)
     c.scheme = allSchemesExtended[rng.below(allSchemesExtended.size())];
     const auto &patterns = table1Patterns();
     c.workload = patterns[rng.below(patterns.size())].name;
+    // Multi-line access models: override the pattern's line-granularity
+    // knobs often enough that line-level hotness and long spatial runs
+    // are both well represented in the population.
+    c.hotLinesPerPage = rng.chance(0.35)
+        ? static_cast<unsigned>(rng.range(1, linesPerPage / 4))
+        : 0;
+    c.seqRunLines = rng.chance(0.35)
+        ? static_cast<unsigned>(rng.range(1, 2 * linesPerPage))
+        : 0;
+    // Trace-backed workloads, when a trace corpus is available.
+    const auto &traces = fuzzTraceFiles();
+    if (!traces.empty() && rng.chance(0.25)) {
+        c.workload = "trace:" + traces[rng.below(traces.size())];
+        c.hotLinesPerPage = 0;
+        c.seqRunLines = 0;
+    }
     c.runSeed = rng.next() | 1;
     c.warmupRefs = rng.range(0, lim.maxWarmup);
     c.measureRefs = rng.range(lim.minRefs, lim.maxRefs);
@@ -355,6 +437,40 @@ repairCase(FuzzCase &c)
     }
 
     // ---- Workload fit (mirrors AddressSpace/SyntheticWorkload) ------
+    c.hotLinesPerPage = std::min(c.hotLinesPerPage, linesPerPage);
+    c.seqRunLines = std::min(c.seqRunLines, 4 * linesPerPage);
+    const std::string trace_path = tracePathOf(c.workload);
+    if (!trace_path.empty()) {
+        // Trace replay: multi-line overrides do not apply, and geometry
+        // and footprints come from the file, not from a Table 1
+        // pattern. An unreadable trace falls back to the baseline
+        // synthetic so repair always yields a runnable case.
+        c.hotLinesPerPage = 0;
+        c.seqRunLines = 0;
+        ThrowGuard guard;
+        try {
+            const TraceReader reader(trace_path);
+            const TraceMeta &m = reader.meta();
+            cfg.numHosts = std::clamp(cfg.numHosts, 1u, m.numHosts);
+            cfg.coresPerHost = static_cast<unsigned>(floorPow2(
+                std::clamp(cfg.coresPerHost, 1u, m.coresPerHost)));
+            // Trace footprints are absolute (recorded post-scale), so
+            // fit the *scaled* capacities directly instead of reasoning
+            // about full sizes.
+            while (cfg.cxlPoolBytes() <
+                   std::max<std::uint64_t>(m.sharedBytes, pageBytes))
+                cfg.cxlPoolBytesFull *= 2;
+            while (cfg.localBytesPerHost() < pageBytes ||
+                   m.privateBytesPerHost / pageBytes >=
+                       cfg.localBytesPerHost() / pageBytes)
+                cfg.localBytesPerHostFull *= 2;
+            c.measureRefs = std::max<std::uint64_t>(c.measureRefs, 1);
+            repairFaults(cfg);
+            return;
+        } catch (const SimError &) {
+            c.workload = "ycsb";
+        }
+    }
     const PatternParams *pat = patternFor(c.workload);
     if (!pat) {
         c.workload = "ycsb";
@@ -390,7 +506,18 @@ repairCase(FuzzCase &c)
            priv_bytes / pageBytes >= cfg.localBytesPerHost() / pageBytes)
         cfg.localBytesPerHostFull *= 2;
 
-    // ---- Faults -----------------------------------------------------
+    repairFaults(cfg);
+
+    c.measureRefs = std::max<std::uint64_t>(c.measureRefs, 1);
+}
+
+namespace
+{
+
+/** The FaultConfig half of repairCase() (shared with the trace path). */
+void
+repairFaults(SystemConfig &cfg)
+{
     FaultConfig &f = cfg.fault;
     auto unit = [](double &p) { p = std::clamp(p, 0.0, 1.0); };
     auto nonneg = [](double &v) { v = std::max(v, 0.0); };
@@ -466,9 +593,9 @@ repairCase(FuzzCase &c)
     if (f.backoffWindow == 0)
         f.backoffWindow = 1;
     f.backoffMaxExp = std::min(f.backoffMaxExp, 20u);
-
-    c.measureRefs = std::max<std::uint64_t>(c.measureRefs, 1);
 }
+
+} // namespace
 
 bool
 caseValid(const FuzzCase &c, std::string *why)
@@ -477,7 +604,13 @@ caseValid(const FuzzCase &c, std::string *why)
     try {
         c.cfg.validate();
         // Mirror the AddressSpace fit checks the run would hit.
-        const auto wl = workloadByName(c.workload, c.cfg.footprintScale);
+        const auto wl = caseWorkload(c);
+        if (const auto *tf = dynamic_cast<const TraceFileWorkload *>(wl.get()))
+            fatal_if(c.cfg.numHosts > tf->recordedHosts() ||
+                         c.cfg.coresPerHost > tf->recordedCoresPerHost(),
+                     "trace was recorded for ", tf->recordedHosts(), "x",
+                     tf->recordedCoresPerHost(), " cores; case asks for ",
+                     c.cfg.numHosts, "x", c.cfg.coresPerHost);
         const std::uint64_t shared_pages = wl->sharedBytes() / pageBytes;
         const std::uint64_t private_pages =
             wl->privateBytesPerHost() / pageBytes;
@@ -540,6 +673,9 @@ caseKey(const FuzzCase &c)
     os << c.cfg.measurementKey() << "|scheme=" << toString(c.scheme)
        << "|wl=" << c.workload << "|seed=" << c.runSeed << "|warmup="
        << c.warmupRefs << "|measure=" << c.measureRefs;
+    // Appended only when set so pre-existing keys stay stable.
+    if (c.hotLinesPerPage || c.seqRunLines)
+        os << "|lines=" << c.hotLinesPerPage << "/" << c.seqRunLines;
     return os.str();
 }
 

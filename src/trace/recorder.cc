@@ -1,0 +1,79 @@
+#include "trace/recorder.hh"
+
+#include "common/logging.hh"
+
+namespace pipm
+{
+
+namespace
+{
+
+/** Forwards an inner trace, appending each consumed ref to a stream. */
+class TapTrace : public CoreTrace
+{
+  public:
+    TapTrace(std::unique_ptr<CoreTrace> inner, TraceWriter &writer,
+             unsigned stream)
+        : inner_(std::move(inner)), writer_(writer), stream_(stream)
+    {
+    }
+
+    MemRef next() override
+    {
+        const MemRef ref = inner_->next();
+        writer_.append(stream_, ref);
+        return ref;
+    }
+
+  private:
+    std::unique_ptr<CoreTrace> inner_;
+    TraceWriter &writer_;
+    unsigned stream_;
+};
+
+TraceMeta
+metaFor(const Workload &inner, unsigned num_hosts,
+        unsigned cores_per_host)
+{
+    TraceMeta meta;
+    meta.name = inner.name();
+    meta.sourceFingerprint = inner.fingerprint();
+    meta.numHosts = num_hosts;
+    meta.coresPerHost = cores_per_host;
+    meta.sharedBytes = inner.sharedBytes();
+    meta.privateBytesPerHost = inner.privateBytesPerHost();
+    meta.footprintBytes = inner.footprintBytes();
+    return meta;
+}
+
+} // namespace
+
+TraceRecorder::TraceRecorder(const Workload &inner, unsigned num_hosts,
+                             unsigned cores_per_host)
+    : inner_(inner),
+      writer_(metaFor(inner, num_hosts, cores_per_host)),
+      tapped_(writer_.meta().streamCount(), false)
+{
+}
+
+std::unique_ptr<CoreTrace>
+TraceRecorder::makeTrace(HostId host, CoreId core,
+                         unsigned cores_per_host, unsigned num_hosts,
+                         std::uint64_t seed) const
+{
+    const TraceMeta &meta = writer_.meta();
+    fatal_if(num_hosts != meta.numHosts ||
+                 cores_per_host != meta.coresPerHost,
+             "TraceRecorder was built for ", meta.numHosts, "x",
+             meta.coresPerHost, " cores but the run asked for ",
+             num_hosts, "x", cores_per_host);
+    const unsigned stream = meta.streamIndex(host, core);
+    panic_if(tapped_[stream], "core (", unsigned{host}, ",", core,
+             ") tapped twice: a TraceRecorder captures exactly one run");
+    tapped_[stream] = true;
+    return std::make_unique<TapTrace>(
+        inner_.makeTrace(host, core, cores_per_host, num_hosts, seed),
+        writer_, stream);
+}
+
+} // namespace pipm

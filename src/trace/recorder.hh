@@ -1,0 +1,85 @@
+/**
+ * @file
+ * TraceRecorder: capture any workload's per-core reference streams
+ * while a real experiment runs (DESIGN.md §14).
+ *
+ * The recorder is a transparent Workload wrapper. It forwards every
+ * query to the wrapped workload and wraps each CoreTrace the runner
+ * builds, encoding every reference *as the runner consumes it* into a
+ * TraceWriter stream. Because the runner's consumption order is the
+ * single source of nondeterminism-free truth (each core draws exactly
+ * the refs its run consumed, including refs a crashing host discarded
+ * mid-access), replaying the captured streams through the same
+ * SystemConfig/RunConfig/seed reproduces the original RunResult
+ * bit-for-bit — see the determinism argument in DESIGN.md §14.
+ *
+ * A recorder instance captures exactly one run: tapping the same
+ * (host, core) stream twice panics.
+ */
+
+#ifndef PIPM_TRACE_RECORDER_HH
+#define PIPM_TRACE_RECORDER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** Records a workload's consumed reference streams to a PIPMT trace. */
+class TraceRecorder : public Workload
+{
+  public:
+    /**
+     * @param inner the workload to record (must outlive the recorder)
+     * @param num_hosts / cores_per_host the geometry of the run that
+     *        will be recorded (must match the RunConfig's machine)
+     */
+    TraceRecorder(const Workload &inner, unsigned num_hosts,
+                  unsigned cores_per_host);
+
+    std::string name() const override { return inner_.name(); }
+    std::string suite() const override { return inner_.suite(); }
+    std::uint64_t footprintBytes() const override
+    {
+        return inner_.footprintBytes();
+    }
+    std::uint64_t sharedBytes() const override
+    {
+        return inner_.sharedBytes();
+    }
+    std::uint64_t privateBytesPerHost() const override
+    {
+        return inner_.privateBytesPerHost();
+    }
+    std::string fingerprint() const override
+    {
+        return inner_.fingerprint();
+    }
+
+    std::unique_ptr<CoreTrace> makeTrace(HostId host, CoreId core,
+                                         unsigned cores_per_host,
+                                         unsigned num_hosts,
+                                         std::uint64_t seed) const override;
+
+    /** References captured so far, across all streams. */
+    std::uint64_t recordedRefs() const { return writer_.totalRecords(); }
+
+    /** Write the captured trace (call after runExperiment returns). */
+    void writeTo(const std::string &path) const { writer_.writeTo(path); }
+
+  private:
+    const Workload &inner_;
+    // makeTrace() is const on the Workload interface but recording is
+    // inherently stateful; the writer mutates behind it.
+    mutable TraceWriter writer_;
+    mutable std::vector<bool> tapped_;
+};
+
+} // namespace pipm
+
+#endif // PIPM_TRACE_RECORDER_HH

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * PIPMT v1: the compact binary trace format of the trace subsystem
+ * (DESIGN.md §14).
+ *
+ * A trace file is a single self-describing artifact holding one memory
+ * reference stream per (host, core) pair, plus the metadata the runner
+ * needs to rebuild the recorded machine shape: geometry, footprints,
+ * the source workload's name and fingerprint. Layout (little-endian):
+ *
+ *   magic "PIPMT" + version byte (1) + reserved byte (0)
+ *   u32 numHosts        u32 coresPerHost
+ *   u32 pageBytes       u32 lineBytes
+ *   u64 sharedBytes     u64 privateBytesPerHost   u64 footprintBytes
+ *   u64 payloadBytes    u64 payloadChecksum (FNV-1a over the payload)
+ *   u16 nameLen + name bytes
+ *   u16 sourceLen + source-fingerprint bytes
+ *   numHosts*coresPerHost stream descriptors: { u64 records, u64 bytes }
+ *   payload: the streams' encoded bytes, concatenated in (host, core)
+ *   row-major order
+ *
+ * Each record encodes as:
+ *
+ *   flags byte:  bit 0 = write, bit 1 = shared, bits 2..7 = line index
+ *   varint:      zigzag(page - previous page in the same namespace);
+ *                shared and private pages keep separate predictors,
+ *                both starting at 0
+ *   varint:      non-memory gap
+ *
+ * Hot streams revisit nearby pages, so deltas are small and the common
+ * record costs 3 bytes against 8 for the packed-word format this
+ * replaces. The whole payload is covered by the header checksum;
+ * readers reject garbage magic, unknown versions, truncated files and
+ * checksum mismatches via fatal() (catchable as SimError in tests).
+ */
+
+#ifndef PIPM_TRACE_TRACE_HH
+#define PIPM_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "workloads/workload.hh"
+
+namespace pipm
+{
+
+/** Trace-wide metadata carried by the PIPMT header. */
+struct TraceMeta
+{
+    std::string name;               ///< source workload name
+    std::string sourceFingerprint;  ///< source workload fingerprint
+    unsigned numHosts = 0;
+    unsigned coresPerHost = 0;
+    std::uint32_t pageBytes = pipm::pageBytes;
+    std::uint32_t lineBytes = pipm::lineBytes;
+    std::uint64_t sharedBytes = 0;
+    std::uint64_t privateBytesPerHost = 0;
+    std::uint64_t footprintBytes = 0;
+
+    /** Streams in the file: one per (host, core). */
+    unsigned streamCount() const { return numHosts * coresPerHost; }
+
+    /** Row-major stream index of (host, core). */
+    unsigned streamIndex(unsigned host, unsigned core) const
+    {
+        return host * coresPerHost + core;
+    }
+};
+
+/**
+ * Encodes reference streams incrementally and writes the finished
+ * PIPMT file. append() compresses each record immediately, so
+ * recording holds bytes (~3/record), not MemRefs.
+ */
+class TraceWriter
+{
+  public:
+    /** @param meta geometry and provenance; validated here */
+    explicit TraceWriter(TraceMeta meta);
+
+    /** Append one reference to a stream (in consumption order). */
+    void append(unsigned stream, const MemRef &ref);
+
+    /** Records appended to a stream so far. */
+    std::uint64_t records(unsigned stream) const;
+
+    /** Total records across all streams. */
+    std::uint64_t totalRecords() const;
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /**
+     * Write the complete trace file. Builds the file in a temporary
+     * sibling and renames it into place so readers never observe a
+     * half-written trace.
+     */
+    void writeTo(const std::string &path) const;
+
+  private:
+    struct Stream
+    {
+        std::vector<std::uint8_t> bytes;
+        std::uint64_t records = 0;
+        std::int64_t prevPage[2] = {0, 0};  ///< [private, shared]
+    };
+
+    TraceMeta meta_;
+    std::vector<Stream> streams_;
+};
+
+/** Loads, validates and decodes a PIPMT file. */
+class TraceReader
+{
+  public:
+    /** @param path trace file; fatal() on any malformation */
+    explicit TraceReader(const std::string &path);
+
+    const TraceMeta &meta() const { return meta_; }
+
+    /** Payload FNV-1a digest — the trace's content address. */
+    std::uint64_t checksum() const { return checksum_; }
+
+    /** Records recorded in one stream. */
+    std::uint64_t records(unsigned stream) const;
+
+    /** Total records across all streams. */
+    std::uint64_t totalRecords() const;
+
+    /** Encoded payload size of one stream, in bytes. */
+    std::uint64_t streamBytes(unsigned stream) const;
+
+    /**
+     * Decode one stream into references. fatal() on any encoding
+     * error (the checksum already vouches for the bytes, so errors
+     * here mean a corrupt writer, not bit rot).
+     */
+    std::vector<MemRef> decodeStream(unsigned stream) const;
+
+  private:
+    struct StreamDesc
+    {
+        std::uint64_t records = 0;
+        std::uint64_t offset = 0;  ///< into payload_
+        std::uint64_t bytes = 0;
+    };
+
+    std::string path_;
+    TraceMeta meta_;
+    std::uint64_t checksum_ = 0;
+    std::vector<StreamDesc> descs_;
+    std::vector<std::uint8_t> payload_;
+};
+
+/**
+ * Merge traces into one, interleaving each output stream's records
+ * round-robin across the inputs (input order = argument order, so the
+ * result is deterministic). Inputs must agree on geometry; footprints
+ * take the element-wise maximum. An input whose stream runs dry drops
+ * out of the rotation.
+ *
+ * @return the merged trace, ready to writeTo()
+ */
+TraceWriter mergeTraces(const std::vector<std::string> &inputs);
+
+} // namespace pipm
+
+#endif // PIPM_TRACE_TRACE_HH

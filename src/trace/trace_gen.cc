@@ -1,0 +1,340 @@
+#include "trace/trace_gen.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace pipm
+{
+
+namespace
+{
+
+/** Shared per-ref machinery: write mix, private refs, gaps, lines. */
+struct StreamCtx
+{
+    const GenSpec &spec;
+    unsigned host;
+    Rng rng;
+    std::uint64_t emitted = 0;
+
+    StreamCtx(const GenSpec &s, unsigned h, unsigned c)
+        : spec(s), host(h),
+          // Same per-core decorrelation the runner uses for synthetic
+          // streams: nearby (host, core) pairs get unrelated draws.
+          rng(s.seed + 7919 * (h * 64 + c))
+    {
+    }
+
+    MemOp op() { return rng.chance(spec.writeFrac) ? MemOp::write
+                                                   : MemOp::read; }
+
+    std::uint16_t gap()
+    {
+        // Uniform in [0, 2*mean] keeps the mean configurable while
+        // staying cheap and bounded.
+        return static_cast<std::uint16_t>(
+            rng.below(2ull * spec.gapMean + 1));
+    }
+
+    /** With privateFrac probability, replace a ref by a private one. */
+    bool maybePrivate(MemRef &ref)
+    {
+        if (!rng.chance(spec.privateFrac))
+            return false;
+        ref.shared = false;
+        ref.page = rng.below(std::max<std::uint64_t>(spec.privatePages, 1));
+        ref.lineIdx = static_cast<std::uint8_t>(rng.below(linesPerPage));
+        ref.op = op();
+        ref.gap = gap();
+        return true;
+    }
+};
+
+/**
+ * Hot window sliding at `hotPages / (2 * halfLifeRefs)` pages per ref:
+ * after halfLifeRefs refs the window has advanced hotPages/2 pages,
+ * i.e. half of the initially hot pages have fallen out.
+ */
+struct HotDrift
+{
+    StreamCtx ctx;
+    double slidePerRef;
+    double slideAccum = 0.0;
+    std::uint64_t windowStart;
+
+    HotDrift(const GenSpec &s, unsigned h, unsigned c)
+        : ctx(s, h, c),
+          slidePerRef(static_cast<double>(s.hotPages) /
+                      (2.0 * static_cast<double>(
+                                 std::max<std::uint64_t>(s.halfLifeRefs,
+                                                         1)))),
+          // Per-host windows start in disjoint regions of the heap.
+          windowStart(h * (s.sharedPages / s.numHosts))
+    {
+    }
+
+    MemRef next()
+    {
+        MemRef ref;
+        if (ctx.maybePrivate(ref))
+            return ref;
+        slideAccum += slidePerRef;
+        while (slideAccum >= 1.0) {
+            windowStart = (windowStart + 1) % ctx.spec.sharedPages;
+            slideAccum -= 1.0;
+        }
+        const std::uint64_t hot =
+            std::min(ctx.spec.hotPages, ctx.spec.sharedPages);
+        // 90/10: most refs hit the drifting window, the rest roam.
+        if (ctx.rng.chance(0.9))
+            ref.page = (windowStart + ctx.rng.below(hot)) %
+                       ctx.spec.sharedPages;
+        else
+            ref.page = ctx.rng.below(ctx.spec.sharedPages);
+        ref.lineIdx =
+            static_cast<std::uint8_t>(ctx.rng.below(linesPerPage));
+        ref.op = ctx.op();
+        ref.gap = ctx.gap();
+        return ref;
+    }
+};
+
+/**
+ * Producer/consumer ring. Phase k: host k mod N sequentially writes
+ * block B_k and reads back B_{k-1} (its predecessor's output); idle
+ * hosts poll a few uniform pages. Blocks tile the heap.
+ */
+struct Handoff
+{
+    StreamCtx ctx;
+    std::uint64_t cursor = 0;
+
+    Handoff(const GenSpec &s, unsigned h, unsigned c) : ctx(s, h, c) {}
+
+    std::uint64_t blockBase(std::uint64_t phase) const
+    {
+        const std::uint64_t blocks =
+            std::max<std::uint64_t>(ctx.spec.sharedPages /
+                                        ctx.spec.handoffPages,
+                                    1);
+        return (phase % blocks) * ctx.spec.handoffPages;
+    }
+
+    MemRef next()
+    {
+        MemRef ref;
+        if (ctx.maybePrivate(ref)) {
+            ++ctx.emitted;
+            return ref;
+        }
+        const std::uint64_t phase = ctx.emitted / ctx.spec.phaseRefs;
+        const unsigned active =
+            static_cast<unsigned>(phase % ctx.spec.numHosts);
+        const std::uint64_t block = ctx.spec.handoffPages;
+        if (ctx.host == active) {
+            // Walk the current block writing, the previous one reading.
+            const std::uint64_t step = cursor++ % (2 * block);
+            if (step < block) {
+                ref.page = blockBase(phase) + step;
+                ref.op = MemOp::write;
+            } else {
+                ref.page = blockBase(phase == 0 ? 0 : phase - 1) +
+                           (step - block);
+                ref.op = MemOp::read;
+            }
+            ref.lineIdx = static_cast<std::uint8_t>(
+                (cursor * 7) % linesPerPage);
+        } else {
+            // Idle hosts lightly poll the handoff region.
+            ref.page = blockBase(phase) + ctx.rng.below(block);
+            ref.op = MemOp::read;
+            ref.lineIdx =
+                static_cast<std::uint8_t>(ctx.rng.below(linesPerPage));
+        }
+        ref.page %= ctx.spec.sharedPages;
+        ref.gap = ctx.gap();
+        ++ctx.emitted;
+        return ref;
+    }
+};
+
+/**
+ * Zipf ranks mapped to pages through a per-host rotation that advances
+ * every phaseRefs refs, so each host's hot pages sweep the heap.
+ */
+struct ZipfRot
+{
+    StreamCtx ctx;
+    ZipfSampler zipf;
+
+    ZipfRot(const GenSpec &s, unsigned h, unsigned c)
+        : ctx(s, h, c), zipf(s.sharedPages, s.zipfTheta)
+    {
+    }
+
+    MemRef next()
+    {
+        MemRef ref;
+        if (ctx.maybePrivate(ref)) {
+            ++ctx.emitted;
+            return ref;
+        }
+        const std::uint64_t rot =
+            (ctx.host + ctx.emitted / ctx.spec.phaseRefs) %
+            ctx.spec.numHosts;
+        const std::uint64_t stride =
+            ctx.spec.sharedPages / ctx.spec.numHosts;
+        const std::uint64_t rank = zipf.sample(ctx.rng);
+        // Scatter ranks with a fixed odd multiplier so consecutive hot
+        // ranks do not land on adjacent pages, then rotate per host.
+        ref.page = (rank * 2654435761ull + rot * stride) %
+                   ctx.spec.sharedPages;
+        ref.lineIdx =
+            static_cast<std::uint8_t>(ctx.rng.below(linesPerPage));
+        ref.op = ctx.op();
+        ref.gap = ctx.gap();
+        ++ctx.emitted;
+        return ref;
+    }
+};
+
+/** Alternating sequential-scan and pointer-chase phases. */
+struct ScanChase
+{
+    StreamCtx ctx;
+    std::uint64_t scanLine = 0;  ///< line cursor within the partition
+    std::uint64_t chasePage;
+
+    ScanChase(const GenSpec &s, unsigned h, unsigned c)
+        : ctx(s, h, c), chasePage(ctx.rng.below(s.sharedPages))
+    {
+    }
+
+    MemRef next()
+    {
+        MemRef ref;
+        if (ctx.maybePrivate(ref)) {
+            ++ctx.emitted;
+            return ref;
+        }
+        const bool scanning =
+            (ctx.emitted / ctx.spec.phaseRefs) % 2 == 0;
+        const std::uint64_t partPages =
+            std::max<std::uint64_t>(ctx.spec.sharedPages /
+                                        ctx.spec.numHosts,
+                                    1);
+        const std::uint64_t partBase =
+            ctx.host * (ctx.spec.sharedPages / ctx.spec.numHosts);
+        if (scanning) {
+            const std::uint64_t line = scanLine++;
+            ref.page = (partBase + line / linesPerPage % partPages) %
+                       ctx.spec.sharedPages;
+            ref.lineIdx =
+                static_cast<std::uint8_t>(line % linesPerPage);
+            ref.op = ctx.op();
+            ref.gap = 0;  // streaming: back-to-back accesses
+        } else {
+            // LCG-style walk: the next page depends on the current one,
+            // like chasing pointers through a shuffled node pool.
+            chasePage = (chasePage * 6364136223846793005ull +
+                         1442695040888963407ull) %
+                        ctx.spec.sharedPages;
+            ref.page = chasePage;
+            ref.lineIdx = static_cast<std::uint8_t>(
+                chasePage % linesPerPage);
+            ref.op = MemOp::read;
+            ref.gap = static_cast<std::uint16_t>(2 * ctx.gap());
+        }
+        ++ctx.emitted;
+        return ref;
+    }
+};
+
+std::string
+genFingerprint(const GenSpec &s)
+{
+    std::ostringstream os;
+    os << "tracegen;" << s.model << ';' << s.numHosts << 'x'
+       << s.coresPerHost << ';' << s.refsPerStream << ';'
+       << s.sharedPages << ';' << s.privatePages << ';' << s.seed << ';'
+       << s.writeFrac << ';' << s.privateFrac << ';' << s.gapMean << ';'
+       << s.hotPages << ';' << s.halfLifeRefs << ';' << s.handoffPages
+       << ';' << s.phaseRefs << ';' << s.zipfTheta;
+    return os.str();
+}
+
+template <typename Model>
+void
+fillStreams(const GenSpec &spec, TraceWriter &out)
+{
+    for (unsigned h = 0; h < spec.numHosts; ++h) {
+        for (unsigned c = 0; c < spec.coresPerHost; ++c) {
+            Model model(spec, h, c);
+            const unsigned stream =
+                out.meta().streamIndex(h, c);
+            for (std::uint64_t i = 0; i < spec.refsPerStream; ++i)
+                out.append(stream, model.next());
+        }
+    }
+}
+
+} // namespace
+
+const std::vector<std::string> &
+genModels()
+{
+    static const std::vector<std::string> models = {
+        "hotdrift", "handoff", "zipfrot", "scanchase"};
+    return models;
+}
+
+bool
+knownGenModel(const std::string &model)
+{
+    const auto &models = genModels();
+    return std::find(models.begin(), models.end(), model) != models.end();
+}
+
+TraceWriter
+generateTrace(const GenSpec &spec)
+{
+    fatal_if(!knownGenModel(spec.model), "unknown trace model '",
+             spec.model, "' (known: hotdrift, handoff, zipfrot, "
+             "scanchase)");
+    fatal_if(spec.numHosts == 0 || spec.coresPerHost == 0,
+             "trace generation needs at least one host and core");
+    fatal_if(spec.sharedPages == 0, "sharedPages must be positive");
+    fatal_if(spec.refsPerStream == 0, "refsPerStream must be positive");
+    fatal_if(spec.phaseRefs == 0, "phaseRefs must be positive");
+    fatal_if(spec.handoffPages == 0 ||
+                 spec.handoffPages > spec.sharedPages,
+             "handoffPages must be in [1, sharedPages]");
+
+    TraceMeta meta;
+    meta.name = "gen:" + spec.model;
+    meta.sourceFingerprint = genFingerprint(spec);
+    meta.numHosts = spec.numHosts;
+    meta.coresPerHost = spec.coresPerHost;
+    meta.sharedBytes = spec.sharedPages * pageBytes;
+    meta.privateBytesPerHost =
+        std::max<std::uint64_t>(spec.privatePages, 1) * pageBytes;
+    meta.footprintBytes =
+        meta.sharedBytes + meta.privateBytesPerHost * spec.numHosts;
+
+    TraceWriter out(meta);
+    if (spec.model == "hotdrift")
+        fillStreams<HotDrift>(spec, out);
+    else if (spec.model == "handoff")
+        fillStreams<Handoff>(spec, out);
+    else if (spec.model == "zipfrot")
+        fillStreams<ZipfRot>(spec, out);
+    else
+        fillStreams<ScanChase>(spec, out);
+    return out;
+}
+
+} // namespace pipm

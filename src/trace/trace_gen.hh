@@ -1,0 +1,75 @@
+/**
+ * @file
+ * trace_gen: synthesize multi-host trace files whose access patterns
+ * the parametric workload models cannot express (DESIGN.md §14).
+ *
+ * Four generators, each emitting one PIPMT stream per (host, core):
+ *
+ * - `hotdrift`  — a hot window of pages per host whose position slides
+ *   continuously; the slide rate is derived from a configurable
+ *   half-life: after `halfLifeRefs` references, half of the initially
+ *   hot pages have left the window. Stresses vote churn and revocation.
+ * - `handoff`   — a producer/consumer pipeline: in phase k, host
+ *   k mod N writes block B_k and reads block B_{k-1} written by its
+ *   predecessor, so page ownership migrates around the ring. The
+ *   worst case for per-host promotion ("local gain, global pain").
+ * - `zipfrot`   — zipf-over-pages where each host sees the rank->page
+ *   mapping rotated by a per-host offset that itself rotates every
+ *   `phaseRefs` references, so the globally hot set moves between
+ *   host partitions on a schedule.
+ * - `scanchase` — alternating phases of sequential scan over the
+ *   host's partition and uniform pointer-chase over the whole heap;
+ *   the scan phases defeat recency, the chase phases defeat locality.
+ *
+ * All generators are pure functions of (spec, host, core): bytes are
+ * reproducible across runs and machines.
+ */
+
+#ifndef PIPM_TRACE_TRACE_GEN_HH
+#define PIPM_TRACE_TRACE_GEN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hh"
+
+namespace pipm
+{
+
+/** Parameters for generated traces; defaults give a laptop-sized run. */
+struct GenSpec
+{
+    std::string model = "hotdrift";  ///< hotdrift|handoff|zipfrot|scanchase
+    unsigned numHosts = 4;
+    unsigned coresPerHost = 2;
+    std::uint64_t refsPerStream = 20000;
+    std::uint64_t sharedPages = 4096;    ///< shared-heap size in pages
+    std::uint64_t privatePages = 64;     ///< per-host private pages
+    std::uint64_t seed = 1;
+    double writeFrac = 0.3;              ///< write probability
+    double privateFrac = 0.15;           ///< private-ref probability
+    unsigned gapMean = 8;                ///< mean non-memory gap
+    std::uint64_t hotPages = 64;         ///< hotdrift window size
+    std::uint64_t halfLifeRefs = 5000;   ///< hotdrift half-life
+    std::uint64_t handoffPages = 32;     ///< handoff block size
+    std::uint64_t phaseRefs = 2000;      ///< handoff/zipfrot/scanchase phase
+    double zipfTheta = 0.9;              ///< zipfrot skew
+};
+
+/** Generator model names, in canonical order. */
+const std::vector<std::string> &genModels();
+
+/** True when `model` names a known generator. */
+bool knownGenModel(const std::string &model);
+
+/**
+ * Generate a trace per the spec. fatal() on an unknown model or
+ * degenerate geometry.
+ * @return the generated trace, ready to writeTo()
+ */
+TraceWriter generateTrace(const GenSpec &spec);
+
+} // namespace pipm
+
+#endif // PIPM_TRACE_TRACE_GEN_HH

@@ -1,161 +1,98 @@
 #include "workloads/trace_file.hh"
 
-#include <filesystem>
-#include <fstream>
 #include <sstream>
 
+#include "common/hash.hh"
 #include "common/logging.hh"
 
 namespace pipm
 {
 
-namespace
-{
-
-std::string
-corePath(const std::string &dir, unsigned host, unsigned core)
-{
-    std::ostringstream os;
-    os << dir << "/trace_h" << host << "_c" << core << ".bin";
-    return os.str();
-}
-
-} // namespace
-
-std::uint64_t
-packMemRef(const MemRef &ref)
-{
-    panic_if(ref.page >= (1ull << 40), "page index exceeds 40 bits");
-    std::uint64_t word = ref.page;
-    word |= static_cast<std::uint64_t>(ref.lineIdx & 63) << 40;
-    word |= static_cast<std::uint64_t>(ref.shared ? 1 : 0) << 46;
-    word |= static_cast<std::uint64_t>(ref.op == MemOp::write ? 1 : 0)
-            << 47;
-    word |= static_cast<std::uint64_t>(ref.gap) << 48;
-    return word;
-}
-
-MemRef
-unpackMemRef(std::uint64_t word)
-{
-    MemRef ref;
-    ref.page = word & ((1ull << 40) - 1);
-    ref.lineIdx = static_cast<std::uint8_t>((word >> 40) & 63);
-    ref.shared = (word >> 46) & 1;
-    ref.op = ((word >> 47) & 1) ? MemOp::write : MemOp::read;
-    ref.gap = static_cast<std::uint16_t>(word >> 48);
-    return ref;
-}
-
 void
-recordTraces(const Workload &workload, const std::string &dir,
-             std::uint64_t refs_per_core, unsigned num_hosts,
-             unsigned cores_per_host, std::uint64_t seed)
+snapshotTrace(const Workload &workload, const std::string &path,
+              std::uint64_t refs_per_core, unsigned num_hosts,
+              unsigned cores_per_host, std::uint64_t seed)
 {
-    namespace fs = std::filesystem;
-    std::error_code ec;
-    fs::create_directories(dir, ec);
-    fatal_if(ec, "cannot create trace directory ", dir, ": ",
-             ec.message());
+    fatal_if(refs_per_core == 0, "refuse to snapshot an empty trace");
+    TraceMeta meta;
+    meta.name = workload.name();
+    meta.sourceFingerprint = workload.fingerprint();
+    meta.numHosts = num_hosts;
+    meta.coresPerHost = cores_per_host;
+    meta.sharedBytes = workload.sharedBytes();
+    meta.privateBytesPerHost = workload.privateBytesPerHost();
+    meta.footprintBytes = workload.footprintBytes();
 
+    TraceWriter out(meta);
     for (unsigned h = 0; h < num_hosts; ++h) {
         for (unsigned c = 0; c < cores_per_host; ++c) {
+            // The runner's per-core seed derivation (sim/runner.cc):
+            // snapshot streams match what a run would consume.
             auto trace = workload.makeTrace(
                 static_cast<HostId>(h), static_cast<CoreId>(c),
                 cores_per_host, num_hosts,
                 seed + 7919 * (h * 64 + c));
-            std::ofstream out(corePath(dir, h, c), std::ios::binary);
-            fatal_if(!out, "cannot open ", corePath(dir, h, c));
-            for (std::uint64_t i = 0; i < refs_per_core; ++i) {
-                const std::uint64_t word = packMemRef(trace->next());
-                out.write(reinterpret_cast<const char *>(&word),
-                          sizeof word);
-            }
+            const unsigned stream = meta.streamIndex(h, c);
+            for (std::uint64_t i = 0; i < refs_per_core; ++i)
+                out.append(stream, trace->next());
         }
     }
-
-    std::ofstream meta(dir + "/meta.txt");
-    fatal_if(!meta, "cannot write ", dir, "/meta.txt");
-    meta << "name " << workload.name() << '\n'
-         << "footprint_bytes " << workload.footprintBytes() << '\n'
-         << "shared_bytes " << workload.sharedBytes() << '\n'
-         << "private_bytes " << workload.privateBytesPerHost() << '\n'
-         << "num_hosts " << num_hosts << '\n'
-         << "cores_per_host " << cores_per_host << '\n'
-         << "refs_per_core " << refs_per_core << '\n';
+    out.writeTo(path);
 }
 
-TraceFileWorkload::TraceFileWorkload(std::string dir)
-    : dir_(std::move(dir))
+TraceFileWorkload::TraceFileWorkload(std::string path)
+    : path_(std::move(path)), reader_(path_)
 {
-    std::ifstream meta(dir_ + "/meta.txt");
-    fatal_if(!meta, "no trace metadata at ", dir_, "/meta.txt");
-    std::string key;
-    while (meta >> key) {
-        if (key == "name")
-            meta >> name_;
-        else if (key == "footprint_bytes")
-            meta >> footprint_;
-        else if (key == "shared_bytes")
-            meta >> sharedBytes_;
-        else if (key == "private_bytes")
-            meta >> privateBytes_;
-        else if (key == "num_hosts")
-            meta >> numHosts_;
-        else if (key == "cores_per_host")
-            meta >> coresPerHost_;
-        else if (key == "refs_per_core")
-            meta >> refsPerCore_;
-        else
-            meta.ignore(1024, '\n');
-    }
-    fatal_if(name_.empty() || numHosts_ == 0 || coresPerHost_ == 0,
-             "malformed trace metadata in ", dir_);
+    fatal_if(reader_.meta().pageBytes != pageBytes ||
+                 reader_.meta().lineBytes != lineBytes,
+             path_, " was recorded with ", reader_.meta().pageBytes,
+             "B pages / ", reader_.meta().lineBytes,
+             "B lines; this simulator uses ", pageBytes, "/",
+             lineBytes);
+    fatal_if(reader_.totalRecords() == 0, path_,
+             " holds no references");
 }
 
 std::string
 TraceFileWorkload::fingerprint() const
 {
     std::ostringstream os;
-    os << "tracefile;" << dir_ << ';' << name_ << ';' << sharedBytes_
-       << ';' << privateBytes_ << ';' << refsPerCore_;
+    os << "pipmt;" << hashHex(reader_.checksum()) << ';'
+       << reader_.meta().name << ';' << reader_.meta().numHosts << 'x'
+       << reader_.meta().coresPerHost << ';' << reader_.totalRecords();
     return os.str();
 }
 
 std::unique_ptr<CoreTrace>
 TraceFileWorkload::makeTrace(HostId host, CoreId core,
-                             unsigned cores_per_host, unsigned num_hosts,
+                             unsigned cores_per_host,
+                             unsigned num_hosts,
                              std::uint64_t seed) const
 {
-    (void)seed;
-    fatal_if(num_hosts > numHosts_ || cores_per_host > coresPerHost_,
-             "trace set ", dir_, " was recorded for ", numHosts_, "x",
-             coresPerHost_, " cores; requested ", num_hosts, "x",
+    (void)seed;  // replay is exact: the file is the stream
+    const TraceMeta &meta = reader_.meta();
+    fatal_if(num_hosts > meta.numHosts ||
+                 cores_per_host > meta.coresPerHost,
+             "trace ", path_, " was recorded for ", meta.numHosts, "x",
+             meta.coresPerHost, " cores; requested ", num_hosts, "x",
              cores_per_host);
-    return std::make_unique<FileTrace>(corePath(dir_, host, core));
+    const unsigned stream = meta.streamIndex(host, core);
+    fatal_if(reader_.records(stream) == 0, "trace ", path_,
+             " stream for core (", unsigned{host}, ",", core,
+             ") is empty");
+    return std::make_unique<FileTrace>(reader_.decodeStream(stream));
 }
 
-FileTrace::FileTrace(const std::string &path)
+FileTrace::FileTrace(std::vector<MemRef> refs) : refs_(std::move(refs))
 {
-    std::ifstream in(path, std::ios::binary | std::ios::ate);
-    fatal_if(!in, "cannot open trace file ", path);
-    const std::streamsize bytes = in.tellg();
-    fatal_if(bytes < static_cast<std::streamsize>(sizeof(std::uint64_t)),
-             "trace file ", path, " is empty");
-    fatal_if(bytes % sizeof(std::uint64_t) != 0,
-             "trace file ", path, " is truncated");
-    words_.resize(static_cast<std::size_t>(bytes) /
-                  sizeof(std::uint64_t));
-    in.seekg(0);
-    in.read(reinterpret_cast<char *>(words_.data()), bytes);
-    fatal_if(!in, "short read from ", path);
+    panic_if(refs_.empty(), "FileTrace needs a non-empty stream");
 }
 
 MemRef
 FileTrace::next()
 {
-    const MemRef ref = unpackMemRef(words_[cursor_]);
-    if (++cursor_ >= words_.size()) {
+    const MemRef ref = refs_[cursor_];
+    if (++cursor_ >= refs_.size()) {
         cursor_ = 0;
         ++wraps_;
     }

@@ -1,21 +1,17 @@
 /**
  * @file
- * Trace file support: record any workload's per-core reference streams
- * to disk and replay them later, mirroring the paper's trace-driven
- * methodology (§5.1.2, Pin traces replayed through the simulator).
+ * Trace-backed workloads: replay a PIPMT trace file (src/trace,
+ * DESIGN.md §14) through the runner, mirroring the paper's
+ * trace-driven methodology (§5.1.2, Pin traces replayed through the
+ * simulator).
  *
- * A trace set is a directory containing `meta.txt` (name, footprints,
- * geometry) plus one binary file per core (`trace_h<H>_c<C>.bin`). Each
- * reference packs into one little-endian 64-bit word:
- *
- *   bits  0..39  page index            (40 bits)
- *   bits 40..45  line within the page  (6 bits)
- *   bit  46      shared (1) / private (0)
- *   bit  47      write (1) / read (0)
- *   bits 48..63  non-memory gap        (16 bits)
- *
- * Replay loops the file when the stream is exhausted (runner streams are
- * infinite), counting wraps so tools can report coverage.
+ * A trace produced by TraceRecorder (captured from a live run) or
+ * trace_gen replays with the exact per-core streams the file holds:
+ * replaying a recorded run under the same SystemConfig/RunConfig
+ * reproduces the original RunResult bit-for-bit. Replay loops a
+ * stream when it is exhausted (runner streams are infinite), counting
+ * wraps so tools can report coverage; an exact record->replay never
+ * wraps.
  */
 
 #ifndef PIPM_WORKLOADS_TRACE_FILE_HH
@@ -25,44 +21,59 @@
 #include <string>
 #include <vector>
 
+#include "trace/trace.hh"
 #include "workloads/workload.hh"
 
 namespace pipm
 {
 
-/** Pack one reference into its on-disk word. */
-std::uint64_t packMemRef(const MemRef &ref);
-
-/** Unpack an on-disk word. */
-MemRef unpackMemRef(std::uint64_t word);
-
 /**
- * Record a workload's traces to a directory.
+ * Pre-generate a workload's reference streams into a PIPMT trace,
+ * drawing each core's stream exactly as the runner would (same
+ * per-core seed derivation), without running an experiment.
+ *
  * @param workload source workload
- * @param dir output directory (created if missing)
- * @param refs_per_core references recorded per core
- * @param num_hosts / cores_per_host trace-set geometry
- * @param seed generator seed
+ * @param path output trace file
+ * @param refs_per_core references captured per core
+ * @param num_hosts / cores_per_host trace geometry
+ * @param seed base seed (the runner's RunConfig::seed analog)
  */
-void recordTraces(const Workload &workload, const std::string &dir,
-                  std::uint64_t refs_per_core, unsigned num_hosts,
-                  unsigned cores_per_host, std::uint64_t seed);
+void snapshotTrace(const Workload &workload, const std::string &path,
+                   std::uint64_t refs_per_core, unsigned num_hosts,
+                   unsigned cores_per_host, std::uint64_t seed);
 
-/** A workload backed by recorded trace files. */
+/** A workload backed by a recorded or generated PIPMT trace file. */
 class TraceFileWorkload : public Workload
 {
   public:
-    /** @param dir a directory produced by recordTraces() */
-    explicit TraceFileWorkload(std::string dir);
+    /** @param path a PIPMT file; fatal() on any malformation */
+    explicit TraceFileWorkload(std::string path);
 
-    std::string name() const override { return name_; }
+    /**
+     * Reports the *source* workload's name: RunResult.workload and the
+     * stats.json meta must match the recorded run's for replay
+     * identity.
+     */
+    std::string name() const override { return reader_.meta().name; }
     std::string suite() const override { return "trace"; }
-    std::uint64_t footprintBytes() const override { return footprint_; }
-    std::uint64_t sharedBytes() const override { return sharedBytes_; }
+    std::uint64_t footprintBytes() const override
+    {
+        return reader_.meta().footprintBytes;
+    }
+    std::uint64_t sharedBytes() const override
+    {
+        return reader_.meta().sharedBytes;
+    }
     std::uint64_t privateBytesPerHost() const override
     {
-        return privateBytes_;
+        return reader_.meta().privateBytesPerHost;
     }
+
+    /**
+     * Content-addressed (payload checksum), deliberately distinct from
+     * the source workload's fingerprint so cached bench rows for a
+     * replay never alias the synthetic run that produced it.
+     */
     std::string fingerprint() const override;
 
     std::unique_ptr<CoreTrace> makeTrace(HostId host, CoreId core,
@@ -70,27 +81,29 @@ class TraceFileWorkload : public Workload
                                          unsigned num_hosts,
                                          std::uint64_t seed) const override;
 
-    unsigned recordedHosts() const { return numHosts_; }
-    unsigned recordedCoresPerHost() const { return coresPerHost_; }
-    std::uint64_t refsPerCore() const { return refsPerCore_; }
+    unsigned recordedHosts() const { return reader_.meta().numHosts; }
+    unsigned recordedCoresPerHost() const
+    {
+        return reader_.meta().coresPerHost;
+    }
+    std::uint64_t refsIn(unsigned host, unsigned core) const
+    {
+        return reader_.records(reader_.meta().streamIndex(host, core));
+    }
+    std::uint64_t totalRefs() const { return reader_.totalRecords(); }
+    const TraceReader &reader() const { return reader_; }
 
   private:
-    std::string dir_;
-    std::string name_;
-    std::uint64_t footprint_ = 0;
-    std::uint64_t sharedBytes_ = 0;
-    std::uint64_t privateBytes_ = 0;
-    unsigned numHosts_ = 0;
-    unsigned coresPerHost_ = 0;
-    std::uint64_t refsPerCore_ = 0;
+    std::string path_;
+    TraceReader reader_;
 };
 
-/** Replays one core's recorded file, looping at the end. */
+/** Replays one decoded stream, looping at the end. */
 class FileTrace : public CoreTrace
 {
   public:
-    /** @param path the core's .bin file */
-    explicit FileTrace(const std::string &path);
+    /** @param refs the stream's references; must be non-empty */
+    explicit FileTrace(std::vector<MemRef> refs);
 
     MemRef next() override;
 
@@ -98,7 +111,7 @@ class FileTrace : public CoreTrace
     std::uint64_t wraps() const { return wraps_; }
 
   private:
-    std::vector<std::uint64_t> words_;
+    std::vector<MemRef> refs_;
     std::size_t cursor_ = 0;
     std::uint64_t wraps_ = 0;
 };

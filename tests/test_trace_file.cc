@@ -1,7 +1,10 @@
 /**
  * @file
- * Tests for trace-file record/replay: word packing, round-trip equality
- * with the generating workload, looping, metadata and error handling.
+ * Tests for PIPMT trace-backed workloads (workloads/trace_file):
+ * snapshot round-trip equality with the generating workload, stream
+ * looping, geometry/metadata error handling, and fingerprint
+ * content-addressing. The format layer itself (writer/reader/recorder/
+ * generators) is covered by test_trace.cc.
  */
 
 #include <gtest/gtest.h>
@@ -27,82 +30,83 @@ class TraceFileTest : public ::testing::Test
         dir_ = std::filesystem::temp_directory_path() /
                "pipm_trace_test_dir";
         std::filesystem::remove_all(dir_);
+        std::filesystem::create_directories(dir_);
     }
 
     void TearDown() override { std::filesystem::remove_all(dir_); }
 
+    std::string
+    path(const char *name) const
+    {
+        return (dir_ / name).string();
+    }
+
     std::filesystem::path dir_;
 };
 
-TEST(TracePacking, RoundTripsAllFields)
-{
-    MemRef ref;
-    ref.shared = true;
-    ref.page = (1ull << 39) + 12345;
-    ref.lineIdx = 63;
-    ref.op = MemOp::write;
-    ref.gap = 65535;
-    const MemRef out = unpackMemRef(packMemRef(ref));
-    EXPECT_EQ(out.shared, ref.shared);
-    EXPECT_EQ(out.page, ref.page);
-    EXPECT_EQ(out.lineIdx, ref.lineIdx);
-    EXPECT_EQ(static_cast<int>(out.op), static_cast<int>(ref.op));
-    EXPECT_EQ(out.gap, ref.gap);
-
-    ref.shared = false;
-    ref.op = MemOp::read;
-    ref.page = 0;
-    ref.gap = 0;
-    ref.lineIdx = 0;
-    const MemRef out2 = unpackMemRef(packMemRef(ref));
-    EXPECT_FALSE(out2.shared);
-    EXPECT_EQ(static_cast<int>(out2.op), static_cast<int>(MemOp::read));
-}
-
-TEST(TracePacking, OversizedPagePanics)
-{
-    detail::throwOnError = true;
-    MemRef ref;
-    ref.page = 1ull << 40;
-    EXPECT_THROW(packMemRef(ref), SimError);
-    detail::throwOnError = false;
-}
-
-TEST_F(TraceFileTest, RecordedTracesReplayIdentically)
+TEST_F(TraceFileTest, SnapshotReplaysIdentically)
 {
     auto workload = workloadByName("ycsb", 256);
-    recordTraces(*workload, dir_.string(), 500, 2, 2, 99);
+    snapshotTrace(*workload, path("ycsb.pipmt"), 500, 2, 2, 99);
 
-    TraceFileWorkload replay(dir_.string());
+    TraceFileWorkload replay(path("ycsb.pipmt"));
     EXPECT_EQ(replay.name(), "ycsb");
+    EXPECT_EQ(replay.suite(), "trace");
     EXPECT_EQ(replay.sharedBytes(), workload->sharedBytes());
+    EXPECT_EQ(replay.privateBytesPerHost(),
+              workload->privateBytesPerHost());
     EXPECT_EQ(replay.recordedHosts(), 2u);
-    EXPECT_EQ(replay.refsPerCore(), 500u);
+    EXPECT_EQ(replay.recordedCoresPerHost(), 2u);
+    EXPECT_EQ(replay.refsIn(1, 0), 500u);
+    EXPECT_EQ(replay.totalRefs(), 4 * 500u);
 
-    // The replayed stream equals the original generator's stream.
+    // The replayed stream equals the original generator's stream
+    // (snapshotTrace uses the runner's per-core seed derivation).
     auto original = workload->makeTrace(1, 0, 2, 2, 99 + 7919 * 64);
     auto from_file = replay.makeTrace(1, 0, 2, 2, 0);
     for (int i = 0; i < 500; ++i) {
         const MemRef a = original->next();
         const MemRef b = from_file->next();
         ASSERT_EQ(a.page, b.page) << "ref " << i;
-        ASSERT_EQ(a.lineIdx, b.lineIdx);
-        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op));
-        ASSERT_EQ(a.gap, b.gap);
-        ASSERT_EQ(a.shared, b.shared);
+        ASSERT_EQ(a.lineIdx, b.lineIdx) << "ref " << i;
+        ASSERT_EQ(static_cast<int>(a.op), static_cast<int>(b.op))
+            << "ref " << i;
+        ASSERT_EQ(a.gap, b.gap) << "ref " << i;
+        ASSERT_EQ(a.shared, b.shared) << "ref " << i;
     }
+}
+
+TEST_F(TraceFileTest, FingerprintIsContentAddressed)
+{
+    auto workload = workloadByName("ycsb", 256);
+    snapshotTrace(*workload, path("a.pipmt"), 100, 1, 1, 5);
+    snapshotTrace(*workload, path("b.pipmt"), 100, 1, 1, 5);
+    snapshotTrace(*workload, path("c.pipmt"), 100, 1, 1, 6);
+
+    TraceFileWorkload a(path("a.pipmt"));
+    TraceFileWorkload b(path("b.pipmt"));
+    TraceFileWorkload c(path("c.pipmt"));
+    // Same snapshot parameters -> same payload -> same fingerprint;
+    // a different seed changes the payload and must change it. Replay
+    // must never alias the synthetic source in the bench cache.
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+    EXPECT_NE(a.fingerprint(), c.fingerprint());
+    EXPECT_NE(a.fingerprint(), workload->fingerprint());
 }
 
 TEST_F(TraceFileTest, StreamsLoopAtTheEnd)
 {
     auto workload = workloadByName("ycsb", 256);
-    recordTraces(*workload, dir_.string(), 100, 1, 1, 5);
-    FileTrace trace(dir_.string() + "/trace_h0_c0.bin");
-    const MemRef first = trace.next();
+    snapshotTrace(*workload, path("loop.pipmt"), 100, 1, 1, 5);
+    TraceFileWorkload replay(path("loop.pipmt"));
+    auto trace = replay.makeTrace(0, 0, 1, 1, 0);
+    auto *file_trace = dynamic_cast<FileTrace *>(trace.get());
+    ASSERT_NE(file_trace, nullptr);
+    const MemRef first = file_trace->next();
     for (int i = 1; i < 100; ++i)
-        trace.next();
-    const MemRef wrapped = trace.next();
-    EXPECT_EQ(trace.wraps(), 1u);
+        file_trace->next();
+    const MemRef wrapped = file_trace->next();
+    EXPECT_EQ(file_trace->wraps(), 1u);
     EXPECT_EQ(first.page, wrapped.page);
     EXPECT_EQ(first.gap, wrapped.gap);
 }
@@ -110,33 +114,41 @@ TEST_F(TraceFileTest, StreamsLoopAtTheEnd)
 TEST_F(TraceFileTest, RejectsOversubscribedGeometry)
 {
     auto workload = workloadByName("ycsb", 256);
-    recordTraces(*workload, dir_.string(), 50, 1, 1, 5);
-    TraceFileWorkload replay(dir_.string());
+    snapshotTrace(*workload, path("small.pipmt"), 50, 1, 1, 5);
+    TraceFileWorkload replay(path("small.pipmt"));
     detail::throwOnError = true;
     EXPECT_THROW(replay.makeTrace(1, 0, 1, 2, 0), SimError);
+    EXPECT_THROW(replay.makeTrace(0, 1, 2, 1, 0), SimError);
     detail::throwOnError = false;
 }
 
-TEST_F(TraceFileTest, MissingMetadataIsFatal)
+TEST_F(TraceFileTest, MissingFileIsFatal)
 {
     detail::throwOnError = true;
-    EXPECT_THROW(TraceFileWorkload((dir_ / "nope").string()), SimError);
+    EXPECT_THROW(TraceFileWorkload(path("nope.pipmt")), SimError);
     detail::throwOnError = false;
 }
 
 TEST_F(TraceFileTest, TruncatedFileIsFatal)
 {
-    std::filesystem::create_directories(dir_);
     {
-        std::FILE *f =
-            std::fopen((dir_ / "trace_h0_c0.bin").c_str(), "wb");
+        std::FILE *f = std::fopen(path("trunc.pipmt").c_str(), "wb");
         const char bytes[5] = {1, 2, 3, 4, 5};
         std::fwrite(bytes, 1, 5, f);
         std::fclose(f);
     }
     detail::throwOnError = true;
-    EXPECT_THROW(FileTrace((dir_ / "trace_h0_c0.bin").string()),
-                 SimError);
+    EXPECT_THROW(TraceFileWorkload(path("trunc.pipmt")), SimError);
+    detail::throwOnError = false;
+}
+
+TEST_F(TraceFileTest, EmptyStreamListIsFatal)
+{
+    detail::throwOnError = true;
+    auto workload = workloadByName("ycsb", 256);
+    EXPECT_THROW(
+        snapshotTrace(*workload, path("zero.pipmt"), 0, 1, 1, 5),
+        SimError);
     detail::throwOnError = false;
 }
 
